@@ -1,0 +1,52 @@
+"""Extension bench (paper Sec. VI future work #1): non-uniform sampling.
+
+The paper's first future-work direction is "a non-uniform sampler to
+screen out representative neighbors with high importance".  We implement
+a degree-biased KG neighbor sampler and compare it against the paper's
+uniform sampler on CG-KGR — not a paper table, but an ablation of a
+design choice DESIGN.md calls out.
+"""
+
+from benchmarks import harness
+from repro.core import CGKGR, paper_config
+from repro.utils import format_table
+
+STRATEGIES = ("uniform", "degree")
+
+
+def factories(dataset_name: str):
+    return {
+        f"sampling_{strategy}": (
+            lambda ds, seed, s=strategy: CGKGR(
+                ds, paper_config(dataset_name).with_overrides(kg_sampling=s), seed=seed
+            )
+        )
+        for strategy in STRATEGIES
+    }
+
+
+def run() -> str:
+    rows = []
+    for dataset in harness.ablation_datasets():
+        comparison = harness.cached_comparison(
+            "ext_sampler", dataset, factories(dataset), topk_values=(20,)
+        )
+        for metric in ("recall@20", "ndcg@20"):
+            rows.append(
+                [f"{dataset}-{metric}"]
+                + [
+                    harness.pct(comparison.mean(f"sampling_{s}", metric))
+                    for s in STRATEGIES
+                ]
+            )
+    return format_table(
+        ["Dataset", "uniform (paper)", "degree-biased (future work)"],
+        rows,
+        title="[Extension] Non-uniform KG neighbor sampling — Top-20 (%)",
+    )
+
+
+def test_ext_nonuniform_sampling(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("ext_nonuniform_sampling", output)
+    assert "degree-biased" in output

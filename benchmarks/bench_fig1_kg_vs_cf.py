@@ -1,0 +1,49 @@
+"""Figure 1 — KG-based vs CF-based models in Top-20 recommendation.
+
+The paper's motivating observation: *some* KG-based models underperform
+the best traditional CF model.  This bench prints, per dataset, the best
+CF score, every KG-based model's score, and flags the KG models that lose
+to CF — the paper's claim holds if that flag fires anywhere.
+"""
+
+from benchmarks import harness
+from repro.utils import format_table
+
+CF_MODELS = ("BPRMF", "NFM")
+KG_MODELS = ("CKE", "RippleNet", "KGNN-LS", "KGCN", "KGAT", "CKAN", "CG-KGR")
+
+
+def run() -> str:
+    blocks = []
+    for dataset in harness.datasets():
+        comparison = harness.full_comparison(dataset)
+        best_cf_name = max(CF_MODELS, key=lambda m: comparison.mean(m, "recall@20"))
+        best_cf = comparison.mean(best_cf_name, "recall@20")
+        best_cf_ndcg = comparison.mean(best_cf_name, "ndcg@20")
+        rows = [
+            [
+                f"best CF ({best_cf_name})",
+                harness.pct(best_cf),
+                harness.pct(best_cf_ndcg),
+                "",
+            ]
+        ]
+        for model in KG_MODELS:
+            recall = comparison.mean(model, "recall@20")
+            ndcg = comparison.mean(model, "ndcg@20")
+            flag = "  <-- below best CF" if recall < best_cf else ""
+            rows.append([model, harness.pct(recall), harness.pct(ndcg), flag])
+        blocks.append(
+            format_table(
+                ["Model", "Recall@20(%)", "NDCG@20(%)", ""],
+                rows,
+                title=f"[Figure 1] KG-based vs CF-based — {dataset}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_fig1_kg_vs_cf(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("fig1_kg_vs_cf", output)
+    assert "best CF" in output

@@ -1,0 +1,38 @@
+"""Figure 4 — Recall@K and NDCG@K curves for K ∈ {1, 5, 10, 20, 50, 100}.
+
+Printed as one series table per (dataset, metric); each column is a model,
+each row a K — the textual equivalent of the paper's line plots.
+"""
+
+from benchmarks import harness
+from repro.utils import format_series
+
+
+def run() -> str:
+    blocks = []
+    for dataset in harness.datasets():
+        comparison = harness.full_comparison(dataset)
+        for metric in ("recall", "ndcg"):
+            series = {
+                model: [
+                    100.0 * comparison.mean(model, f"{metric}@{k}")
+                    for k in harness.TOPK_GRID
+                ]
+                for model in harness.MODEL_ORDER
+            }
+            blocks.append(
+                format_series(
+                    "K",
+                    list(harness.TOPK_GRID),
+                    series,
+                    title=f"[Figure 4] {metric}@K (%) — {dataset}",
+                    precision=2,
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def test_fig4_topk_curves(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("fig4_topk_curves", output)
+    assert "recall@K" in output or "recall" in output

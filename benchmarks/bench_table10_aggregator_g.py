@@ -1,0 +1,49 @@
+"""Table X — choice of the information aggregator g ∈ {sum, concat,
+neighbor}.  The paper finds g_concat best in general, g_neighbor best on
+the movie profile."""
+
+from benchmarks import harness
+from repro.core import CGKGR, paper_config
+from repro.utils import format_table
+
+AGGREGATORS = ("sum", "concat", "neighbor")
+
+
+def factories(dataset_name: str):
+    return {
+        f"g_{name}": (
+            lambda ds, seed, agg=name: CGKGR(
+                ds,
+                paper_config(dataset_name).with_overrides(aggregator=agg),
+                seed=seed,
+            )
+        )
+        for name in AGGREGATORS
+    }
+
+
+def run() -> str:
+    rows = []
+    for dataset in harness.ablation_datasets():
+        comparison = harness.cached_comparison(
+            "t10", dataset, factories(dataset), topk_values=(20,)
+        )
+        for metric in ("recall@20", "ndcg@20"):
+            rows.append(
+                [f"{dataset}-{metric}"]
+                + [
+                    harness.pct(comparison.mean(f"g_{a}", metric))
+                    for a in AGGREGATORS
+                ]
+            )
+    return format_table(
+        ["Dataset", "g_sum", "g_concat", "g_neighbor"],
+        rows,
+        title="[Table X] Aggregator g — Top-20 (%)",
+    )
+
+
+def test_table10_aggregator_g(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("table10_aggregator_g", output)
+    assert "g_concat" in output

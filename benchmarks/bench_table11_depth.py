@@ -1,0 +1,56 @@
+"""Table XI — depth L of knowledge-extraction hops, L ∈ {0, ..., 4}.
+
+The paper finds the best L grows with the benchmark's knowledge richness
+(1 / 1 / 2 / 3 for music / book / movie / restaurant) and that L=0 (no
+KG aggregation) is always worse than the best depth.  Depths 0-3 are run
+for the small profiles; 4 additionally for movie/restaurant, mirroring
+the paper's '-' cells.
+"""
+
+from benchmarks import harness
+from repro.core import CGKGR, paper_config
+from repro.utils import format_table
+
+
+def depths_for(dataset: str):
+    return (0, 1, 2, 3, 4) if dataset in ("movie", "restaurant") else (0, 1, 2, 3)
+
+
+def factories(dataset_name: str):
+    return {
+        f"L{depth}": (
+            lambda ds, seed, d=depth: CGKGR(
+                ds, paper_config(dataset_name).with_overrides(depth=d), seed=seed
+            )
+        )
+        for depth in depths_for(dataset_name)
+    }
+
+
+def run() -> str:
+    all_depths = (0, 1, 2, 3, 4)
+    rows = []
+    for dataset in harness.ablation_datasets():
+        comparison = harness.cached_comparison(
+            "t11", dataset, factories(dataset), topk_values=(20,)
+        )
+        available = depths_for(dataset)
+        for metric in ("recall@20", "ndcg@20"):
+            row = [f"{dataset}-{metric}"]
+            for depth in all_depths:
+                if depth in available:
+                    row.append(harness.pct(comparison.mean(f"L{depth}", metric)))
+                else:
+                    row.append("-")
+            rows.append(row)
+    return format_table(
+        ["Dataset", "L=0", "L=1", "L=2", "L=3", "L=4"],
+        rows,
+        title="[Table XI] Knowledge-extraction depth — Top-20 (%)",
+    )
+
+
+def test_table11_depth(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("table11_depth", output)
+    assert "L=0" in output

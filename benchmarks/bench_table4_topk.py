@@ -1,0 +1,47 @@
+"""Table IV — average results of the Top-20 recommendation task.
+
+Regenerates the paper's main table: Recall@20 / NDCG@20 (mean ± std over
+trials) for all nine models on each benchmark, the % gain of the best
+model over the second best, and the Wilcoxon significance marker (*).
+"""
+
+from benchmarks import harness
+from repro.utils import format_table
+
+
+def run() -> str:
+    blocks = []
+    for dataset in harness.datasets():
+        comparison = harness.full_comparison(dataset)
+        rows = []
+        for model in harness.MODEL_ORDER:
+            rows.append(
+                [
+                    model,
+                    harness.mean_std(comparison.values(model, "recall@20")),
+                    harness.mean_std(comparison.values(model, "ndcg@20")),
+                ]
+            )
+        report = comparison.significance("recall@20")
+        star = "*" if report["significant"] else ""
+        rows.append(
+            [
+                "% Gain",
+                f"{report['gain_pct']:+.2f}%{star} ({report['best']} vs {report['second']})",
+                "",
+            ]
+        )
+        blocks.append(
+            format_table(
+                ["Model", "Recall@20(%)", "NDCG@20(%)"],
+                rows,
+                title=f"[Table IV] Top-20 recommendation — {dataset}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_table4_topk(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("table4_topk", output)
+    assert "CG-KGR" in output and "Recall@20" in output

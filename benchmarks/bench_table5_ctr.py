@@ -1,0 +1,42 @@
+"""Table V — average results of the CTR prediction task (AUC / F1)."""
+
+from benchmarks import harness
+from repro.utils import format_table
+
+
+def run() -> str:
+    blocks = []
+    for dataset in harness.datasets():
+        comparison = harness.full_comparison(dataset)
+        rows = []
+        for model in harness.MODEL_ORDER:
+            rows.append(
+                [
+                    model,
+                    harness.mean_std(comparison.values(model, "auc")),
+                    harness.mean_std(comparison.values(model, "f1")),
+                ]
+            )
+        report = comparison.significance("auc")
+        star = "*" if report["significant"] else ""
+        rows.append(
+            [
+                "% Gain",
+                f"{report['gain_pct']:+.2f}%{star} ({report['best']} vs {report['second']})",
+                "",
+            ]
+        )
+        blocks.append(
+            format_table(
+                ["Model", "AUC(%)", "F1(%)"],
+                rows,
+                title=f"[Table V] CTR prediction — {dataset}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_table5_ctr(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("table5_ctr", output)
+    assert "AUC" in output

@@ -1,0 +1,29 @@
+"""Table VI — time cost per epoch (t̄, seconds) and epochs to the best
+validation performance (b̄e) for every model."""
+
+from benchmarks import harness
+from repro.utils import format_table
+
+
+def run() -> str:
+    blocks = []
+    for dataset in harness.datasets():
+        comparison = harness.full_comparison(dataset)
+        rows = []
+        for model in harness.MODEL_ORDER:
+            per_epoch, best_epoch = comparison.timing(model)
+            rows.append([model, f"{per_epoch:.3f}", f"{best_epoch:.1f}"])
+        blocks.append(
+            format_table(
+                ["Model", "t̄ (s/epoch)", "b̄e (epochs)"],
+                rows,
+                title=f"[Table VI] Training efficiency — {dataset}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_table6_efficiency(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("table6_efficiency", output)
+    assert "t̄" in output

@@ -1,0 +1,52 @@
+"""Table VII — ablation of the Collaborative Guidance Mechanism.
+
+Variants: CG-KGR_NE (raw node embeddings in the signal), CG-KGR_PF
+(preference filtering only), CG-KGR_AG (attraction grouping only), vs the
+full model.  The paper's finding: NE < {PF, AG} < full.
+"""
+
+from benchmarks import harness
+from repro.core import make_variant, paper_config
+from repro.utils import format_table
+
+VARIANTS = ("ne", "pf", "ag", "full")
+
+
+def factories(dataset_name: str):
+    return {
+        name: (
+            lambda ds, seed, v=name: make_variant(
+                v, ds, paper_config(dataset_name), seed=seed
+            )
+        )
+        for name in VARIANTS
+    }
+
+
+def run() -> str:
+    rows = []
+    for dataset in harness.ablation_datasets():
+        comparison = harness.cached_comparison(
+            "t7", dataset, factories(dataset), topk_values=(20,)
+        )
+        best_recall = comparison.mean("full", "recall@20")
+        best_ndcg = comparison.mean("full", "ndcg@20")
+        for metric, best in (("recall@20", best_recall), ("ndcg@20", best_ndcg)):
+            row = [f"{dataset}-{metric}"]
+            for variant in ("ne", "pf", "ag"):
+                value = comparison.mean(variant, metric)
+                delta = 100.0 * (value / best - 1.0) if best > 0 else 0.0
+                row.append(f"{harness.pct(value)} ({delta:+.2f}%)")
+            row.append(harness.pct(best))
+            rows.append(row)
+    return format_table(
+        ["Dataset", "CG-KGR_NE", "CG-KGR_PF", "CG-KGR_AG", "Best (full)"],
+        rows,
+        title="[Table VII] Collaborative Guidance ablation — Top-20 (%)",
+    )
+
+
+def test_table7_guidance_ablation(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("table7_guidance_ablation", output)
+    assert "CG-KGR_NE" in output

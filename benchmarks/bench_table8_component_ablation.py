@@ -1,0 +1,51 @@
+"""Table VIII — component ablation of CG-KGR.
+
+Variants: w/o UI (no interactive summarization), w/o KG (no knowledge
+extraction), w/o ATT (uniform neighbor weights), w/o CG (all-one guidance
+signal), w/o HE (no high-order extraction, L capped at 1), vs full.
+"""
+
+from benchmarks import harness
+from repro.core import make_variant, paper_config
+from repro.utils import format_table
+
+VARIANTS = ("wo_ui", "wo_kg", "wo_att", "wo_cg", "wo_he", "full")
+
+
+def factories(dataset_name: str):
+    return {
+        name: (
+            lambda ds, seed, v=name: make_variant(
+                v, ds, paper_config(dataset_name), seed=seed
+            )
+        )
+        for name in VARIANTS
+    }
+
+
+def run() -> str:
+    rows = []
+    for dataset in harness.ablation_datasets():
+        comparison = harness.cached_comparison(
+            "t8", dataset, factories(dataset), topk_values=(20,)
+        )
+        for metric in ("recall@20", "ndcg@20"):
+            best = comparison.mean("full", metric)
+            row = [f"{dataset}-{metric}"]
+            for variant in ("wo_ui", "wo_kg", "wo_att", "wo_cg", "wo_he"):
+                value = comparison.mean(variant, metric)
+                delta = 100.0 * (value / best - 1.0) if best > 0 else 0.0
+                row.append(f"{harness.pct(value)} ({delta:+.2f}%)")
+            row.append(harness.pct(best))
+            rows.append(row)
+    return format_table(
+        ["Dataset", "w/o UI", "w/o KG", "w/o ATT", "w/o CG", "w/o HE", "Best"],
+        rows,
+        title="[Table VIII] Component ablation — Top-20 (%)",
+    )
+
+
+def test_table8_component_ablation(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("table8_component_ablation", output)
+    assert "w/o UI" in output

@@ -1,0 +1,45 @@
+"""Table IX — choice of the guidance signal encoder f ∈ {sum, mean, pmax}.
+
+The paper finds f_mean consistently best.
+"""
+
+from benchmarks import harness
+from repro.core import CGKGR, paper_config
+from repro.utils import format_table
+
+ENCODERS = ("sum", "mean", "pmax")
+
+
+def factories(dataset_name: str):
+    return {
+        f"f_{name}": (
+            lambda ds, seed, enc=name: CGKGR(
+                ds, paper_config(dataset_name).with_overrides(encoder=enc), seed=seed
+            )
+        )
+        for name in ENCODERS
+    }
+
+
+def run() -> str:
+    rows = []
+    for dataset in harness.ablation_datasets():
+        comparison = harness.cached_comparison(
+            "t9", dataset, factories(dataset), topk_values=(20,)
+        )
+        for metric in ("recall@20", "ndcg@20"):
+            rows.append(
+                [f"{dataset}-{metric}"]
+                + [harness.pct(comparison.mean(f"f_{e}", metric)) for e in ENCODERS]
+            )
+    return format_table(
+        ["Dataset", "f_sum", "f_mean", "f_pmax"],
+        rows,
+        title="[Table IX] Guidance encoder f — Top-20 (%)",
+    )
+
+
+def test_table9_encoder_f(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("table9_encoder_f", output)
+    assert "f_mean" in output

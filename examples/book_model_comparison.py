@@ -1,0 +1,71 @@
+"""Book recommendation: CG-KGR against CF and KG-aware baselines.
+
+Run with::
+
+    python examples/book_model_comparison.py
+
+Reproduces a slice of the paper's Table IV story on the Book-Crossing
+stand-in — the sparsest benchmark, where knowledge-aware models have the
+most to gain — training four representative models under the identical
+protocol and printing a comparison table.
+"""
+
+import os
+
+from repro.baselines import BPRMF, CKAN, KGCN
+from repro.core import CGKGR, paper_config
+from repro.data import generate_profile
+from repro.eval import evaluate_ctr, evaluate_topk
+from repro.training import Trainer, TrainerConfig
+from repro.utils import format_table
+
+
+def main() -> None:
+    epochs = int(os.environ.get("REPRO_EXAMPLE_EPOCHS", 40))
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", 1.0))
+    dataset = generate_profile("book", seed=0, scale=scale)
+    print("dataset:", dataset.summary(), "\n")
+
+    contenders = {
+        "BPRMF (CF)": BPRMF(dataset, dim=16, lr=1e-2, seed=0),
+        "KGCN": KGCN(dataset, dim=16, depth=1, neighbor_size=4, lr=1e-2, seed=0),
+        "CKAN": CKAN(dataset, dim=16, n_hops=2, set_size=16, lr=1e-2, seed=0),
+        "CG-KGR": CGKGR(dataset, paper_config("book"), seed=0),
+    }
+    trainer_config = TrainerConfig(
+        epochs=epochs, early_stop_patience=10, eval_task="topk",
+        eval_metric="recall@20", eval_max_users=40, seed=0,
+    )
+
+    rows = []
+    for name, model in contenders.items():
+        fit = Trainer(model, trainer_config).fit()
+        topk = evaluate_topk(
+            model, dataset.test, k_values=(20,),
+            mask_splits=[dataset.train, dataset.valid],
+        )
+        ctr = evaluate_ctr(model, dataset.test)
+        rows.append(
+            [
+                name,
+                f"{100 * topk['recall@20']:.2f}",
+                f"{100 * topk['ndcg@20']:.2f}",
+                f"{100 * ctr['auc']:.2f}",
+                f"{fit.best_epoch}",
+                f"{fit.time_per_epoch:.2f}s",
+            ]
+        )
+        print(f"trained {name}: best epoch {fit.best_epoch}")
+
+    print()
+    print(
+        format_table(
+            ["Model", "Recall@20(%)", "NDCG@20(%)", "AUC(%)", "best epoch", "t/epoch"],
+            rows,
+            title="Book profile — Top-20 recommendation and CTR",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

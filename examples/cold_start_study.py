@@ -1,0 +1,72 @@
+"""Cold-start study: where knowledge graphs actually pay off.
+
+Run with::
+
+    python examples/cold_start_study.py
+
+The paper's motivation (Sec. I) is that KGs alleviate data sparsity and
+cold-start problems.  This example makes that concrete: it buckets test
+users of the sparse book profile by how many *training* interactions
+they have, and compares CG-KGR against pure-CF BPRMF per bucket.  The
+expected shape: the sparser the user's history, the larger CG-KGR's
+relative advantage — the KG supplies what the interaction matrix cannot.
+"""
+
+import os
+from collections import defaultdict
+
+import numpy as np
+
+from repro.analysis import recall_by_history_size
+from repro.baselines import BPRMF
+from repro.core import CGKGR, paper_config
+from repro.data import generate_profile
+from repro.training import Trainer, TrainerConfig
+from repro.utils import format_table
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", 1.0))
+    dataset = generate_profile("book", seed=0, scale=scale)
+    trainer_config = TrainerConfig(
+        epochs=int(os.environ.get("REPRO_EXAMPLE_EPOCHS", 40)),
+        early_stop_patience=10, eval_task="topk",
+        eval_metric="recall@20", eval_max_users=40, seed=0,
+    )
+
+    models = {
+        "BPRMF": BPRMF(dataset, dim=16, lr=1e-2, seed=0),
+        "CG-KGR": CGKGR(dataset, paper_config("book"), seed=0),
+    }
+    reports = {}
+    for name, model in models.items():
+        print(f"training {name} ...")
+        Trainer(model, trainer_config).fit()
+        reports[name] = recall_by_history_size(model, dataset, k=20)
+
+    lifts = reports["CG-KGR"].lift_over(reports["BPRMF"])
+    rows = []
+    for label, count in reports["CG-KGR"].counts.items():
+        if count == 0:
+            continue
+        rows.append(
+            [
+                label,
+                count,
+                f"{100 * reports['BPRMF'].recall[label]:.2f}",
+                f"{100 * reports['CG-KGR'].recall[label]:.2f}",
+                f"{100 * lifts[label]:+.1f}%" if lifts[label] != float("inf") else "inf",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["train history", "#users", "BPRMF R@20(%)", "CG-KGR R@20(%)", "CG-KGR lift"],
+            rows,
+            title="Recall@20 by user-history size (book profile)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Bring your own data: load the official artifact file formats.
+
+Run with::
+
+    python examples/custom_dataset.py
+
+Shows the full path from raw interaction/KG text files (the layout the
+official CG-KGR release uses: ``ratings_final.txt`` with ``user item
+label`` rows and ``kg_final.txt`` with ``head relation tail`` rows) to a
+trained model with CTR predictions — drop the real Last-FM /
+Book-Crossing / MovieLens exports into a directory and point
+``load_dataset_dir`` at it.
+
+Since this environment has no network, the script first *writes* such a
+directory from a synthetic profile, then pretends it was user-supplied.
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CGKGR, CGKGRConfig
+from repro.data import generate_profile, load_dataset_dir
+from repro.data.loaders import save_interactions_file, save_kg_file
+from repro.eval import evaluate_ctr
+from repro.graph import InteractionGraph
+from repro.training import Trainer, TrainerConfig
+
+
+def export_artifact_layout(directory: Path) -> None:
+    """Write ratings_final.txt / kg_final.txt the way the artifact ships."""
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", 1.0))
+    source = generate_profile("restaurant", seed=42, scale=scale)
+    # The artifact stores *all* positives in one file; splitting is the
+    # consumer's job (we re-split on load).
+    all_pairs = np.concatenate(
+        [source.train.pairs(), source.valid.pairs(), source.test.pairs()]
+    )
+    everything = InteractionGraph(all_pairs, source.n_users, source.n_items)
+    save_interactions_file(str(directory / "ratings_final.txt"), everything)
+    save_kg_file(str(directory / "kg_final.txt"), source.kg)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "dianping-food"
+        directory.mkdir()
+        export_artifact_layout(directory)
+        print(f"artifact files written to {directory}:")
+        for path in sorted(directory.iterdir()):
+            print(f"  {path.name}: {sum(1 for _ in open(path))} lines")
+
+        # --- from here on, the workflow a real-data user follows -------
+        dataset = load_dataset_dir(str(directory), split_seed=7)
+        print("\nloaded:", dataset.summary())
+
+        config = CGKGRConfig(
+            dim=16, depth=2, n_heads=4, kg_sample_size=4,
+            user_sample_size=12, lr=2e-2, aggregator="concat",
+        )
+        model = CGKGR(dataset, config, seed=0)
+        Trainer(
+            model,
+            TrainerConfig(
+                epochs=int(os.environ.get("REPRO_EXAMPLE_EPOCHS", 15)),
+                early_stop_patience=6, eval_task="ctr",
+                eval_metric="auc", seed=0,
+            ),
+        ).fit()
+
+        ctr = evaluate_ctr(model, dataset.test)
+        print(f"\ntest AUC = {ctr['auc']:.4f}, F1 = {ctr['f1']:.4f}")
+
+        # Point predictions for a few held-out pairs.
+        users = dataset.test.users[:5]
+        items = dataset.test.items[:5]
+        logits = model.predict(users, items)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        for u, i, p in zip(users, items, probs):
+            print(f"P(user {u} clicks restaurant {i}) = {p:.3f} (observed: yes)")
+
+
+if __name__ == "__main__":
+    main()

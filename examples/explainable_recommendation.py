@@ -1,0 +1,83 @@
+"""Explainable recommendation via the Collaborative Guidance Mechanism.
+
+Run with::
+
+    python examples/explainable_recommendation.py
+
+The paper's Fig. 5 narrative as an API: after training on the movie
+profile, ``CGKGR.explain(user, item)`` exposes the first-hop knowledge
+attention with and without the collaborative guidance signal.  Different
+users guide the *same* movie's knowledge extraction differently — the
+mechanism behind "fans of Ryan Gosling weight (La La Land, ActedBy,
+Ryan Gosling) higher than (La La Land, Genre, Music)".
+"""
+
+import os
+
+import numpy as np
+
+from repro.core import CGKGR, paper_config
+from repro.data import generate_profile
+from repro.training import Trainer, TrainerConfig
+from repro.utils import format_table
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", 1.0))
+    dataset = generate_profile("movie", seed=1, scale=scale)
+    model = CGKGR(dataset, paper_config("movie"), seed=1)
+    print("training CG-KGR on the movie profile ...")
+    Trainer(
+        model,
+        TrainerConfig(
+            epochs=int(os.environ.get("REPRO_EXAMPLE_EPOCHS", 25)),
+            early_stop_patience=8, eval_task="topk",
+            eval_metric="recall@20", eval_max_users=30, seed=1,
+        ),
+    ).fit()
+
+    # Pick a movie with several KG facts and two users who both have it
+    # in their test set (or any two distinct users otherwise).
+    rng = np.random.default_rng(0)
+    item = max(range(dataset.n_items), key=dataset.kg.degree)
+    users = list(dict.fromkeys(int(u) for u in dataset.test.users))[:2]
+    user_a, user_b = users[0], users[1]
+
+    report_a = model.explain(user_a, item)
+    report_b = model.explain(user_b, item)
+
+    rows = []
+    for slot in range(len(report_a["entities"])):
+        if not report_a["mask"][slot]:
+            continue
+        rows.append(
+            [
+                f"(movie {item}, rel {report_a['relations'][slot]}, entity {report_a['entities'][slot]})",
+                f"{report_a['unguided_weights'][slot]:.3f}",
+                f"{report_a['guided_weights'][slot]:.3f}",
+                f"{report_b['guided_weights'][slot]:.3f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "knowledge triple",
+                "no guidance",
+                f"guided by user {user_a}",
+                f"guided by user {user_b}",
+            ],
+            rows,
+            title=f"Knowledge attention for movie {item}",
+        )
+    )
+    shift = np.abs(report_a["guided_weights"] - report_b["guided_weights"]).sum()
+    print(
+        f"\ntotal-variation distance between user {user_a}'s and user "
+        f"{user_b}'s knowledge weighting: {shift:.3f}"
+    )
+    print("(> 0 means the same movie's knowledge is extracted differently per user)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Standalone knowledge-graph embedding on a benchmark KG.
+
+Run with::
+
+    python examples/kg_embedding.py
+
+The regularization-based baselines of the paper (CKE, KGAT) internally
+embed the KG with translational models; `repro.kge` exposes that
+machinery directly.  This example trains TransE / TransR / DistMult on
+the book profile's KG, reports filtered link-prediction quality, and
+shows that embeddings recover structure: true triples score far above
+corrupted ones.
+"""
+
+import os
+
+import numpy as np
+
+from repro.data import generate_profile
+from repro.kge import KGEModel
+from repro.utils import format_table
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", 1.0))
+    epochs = int(os.environ.get("REPRO_EXAMPLE_EPOCHS", 30))
+    dataset = generate_profile("book", seed=0, scale=scale)
+    kg = dataset.kg
+    print(f"KG: {kg.n_entities} entities, {kg.n_relations} relations, "
+          f"{kg.n_triples} triples\n")
+
+    rows = []
+    for scorer in ("transe", "transr", "distmult"):
+        model = KGEModel(kg, dim=16, scorer=scorer, lr=2e-2, seed=0)
+        history = model.fit(epochs=epochs, batch_size=128)
+        report = model.evaluate_link_prediction(max_queries=150)
+        rows.append(
+            [
+                scorer,
+                f"{history[0]:.3f} -> {history[-1]:.3f}",
+                f"{report.mrr:.3f}",
+                f"{report.hits_at_1:.3f}",
+                f"{report.hits_at_10:.3f}",
+            ]
+        )
+        print(f"trained {scorer}: final loss {history[-1]:.4f}")
+
+    print()
+    print(
+        format_table(
+            ["scorer", "loss start -> end", "MRR", "Hits@1", "Hits@10"],
+            rows,
+            title="Filtered tail prediction on the book KG",
+        )
+    )
+
+    # True vs corrupted triple margins for the last model.
+    triples = kg.triples[:200]
+    rng = np.random.default_rng(0)
+    corrupted = triples.copy()
+    corrupted[:, 2] = rng.integers(0, kg.n_entities, size=len(corrupted))
+    true_scores = model.score_triples(triples[:, 0], triples[:, 1], triples[:, 2]).numpy()
+    fake_scores = model.score_triples(corrupted[:, 0], corrupted[:, 1], corrupted[:, 2]).numpy()
+    print(
+        f"\nmean plausibility: true triples {true_scores.mean():.3f} vs "
+        f"corrupted {fake_scores.mean():.3f} "
+        f"({(true_scores > fake_scores).mean():.0%} pairwise wins)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""CG-KGR reproduction (ICDE 2022, Chen et al.).
+
+Top-level convenience surface; see README.md for a tour.
+"""
+
+from repro.core import CGKGR, CGKGRConfig, make_variant, paper_config
+from repro.data import generate_profile
+from repro.training import Trainer, TrainerConfig, run_comparison, run_single
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CGKGR",
+    "CGKGRConfig",
+    "paper_config",
+    "make_variant",
+    "generate_profile",
+    "Trainer",
+    "TrainerConfig",
+    "run_comparison",
+    "run_single",
+    "__version__",
+]

@@ -1,0 +1,561 @@
+"""Differentiable operations on :class:`~repro.autograd.tensor.Tensor`.
+
+Every function returns a new tensor whose tape node closes over whatever
+intermediate arrays the backward pass needs.  Broadcasting binary ops undo
+broadcasting in backward via :func:`~repro.autograd.tensor.unbroadcast`.
+
+The general :func:`einsum` is the workhorse of the attention mechanisms in
+:mod:`repro.core`: its adjoint swaps the output subscript with the operand
+subscript, which is valid whenever each operand's indices all appear in the
+output or the other operands (asserted at trace time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import ArrayLike, Tensor, ensure_tensor, unbroadcast
+
+TensorLike = Union[Tensor, ArrayLike]
+
+
+# ----------------------------------------------------------------------
+# Elementwise binary ops
+# ----------------------------------------------------------------------
+def add(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise ``a + b`` with broadcasting."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data + b.data
+    return Tensor._make(
+        out,
+        (a, b),
+        (
+            lambda g, sa=a.shape: unbroadcast(g, sa),
+            lambda g, sb=b.shape: unbroadcast(g, sb),
+        ),
+        "add",
+    )
+
+
+def sub(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise ``a - b`` with broadcasting."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data - b.data
+    return Tensor._make(
+        out,
+        (a, b),
+        (
+            lambda g, sa=a.shape: unbroadcast(g, sa),
+            lambda g, sb=b.shape: unbroadcast(-g, sb),
+        ),
+        "sub",
+    )
+
+
+def mul(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise ``a * b`` with broadcasting."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data * b.data
+    return Tensor._make(
+        out,
+        (a, b),
+        (
+            lambda g, bd=b.data, sa=a.shape: unbroadcast(g * bd, sa),
+            lambda g, ad=a.data, sb=b.shape: unbroadcast(g * ad, sb),
+        ),
+        "mul",
+    )
+
+
+def div(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise ``a / b`` with broadcasting."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data / b.data
+    return Tensor._make(
+        out,
+        (a, b),
+        (
+            lambda g, bd=b.data, sa=a.shape: unbroadcast(g / bd, sa),
+            lambda g, ad=a.data, bd=b.data, sb=b.shape: unbroadcast(
+                -g * ad / (bd * bd), sb
+            ),
+        ),
+        "div",
+    )
+
+
+def maximum(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise maximum; on ties the gradient flows to the first input."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    take_a = a.data >= b.data
+    out = np.where(take_a, a.data, b.data)
+    return Tensor._make(
+        out,
+        (a, b),
+        (
+            lambda g, m=take_a, sa=a.shape: unbroadcast(g * m, sa),
+            lambda g, m=~take_a, sb=b.shape: unbroadcast(g * m, sb),
+        ),
+        "maximum",
+    )
+
+
+def where(condition: ArrayLike, a: TensorLike, b: TensorLike) -> Tensor:
+    """Select elementwise from ``a`` where ``condition`` else ``b``."""
+    cond = np.asarray(condition, dtype=bool)
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = np.where(cond, a.data, b.data)
+    return Tensor._make(
+        out,
+        (a, b),
+        (
+            lambda g, c=cond, sa=a.shape: unbroadcast(g * c, sa),
+            lambda g, c=~cond, sb=b.shape: unbroadcast(g * c, sb),
+        ),
+        "where",
+    )
+
+
+def neg(a: TensorLike) -> Tensor:
+    a = ensure_tensor(a)
+    return Tensor._make(-a.data, (a,), (lambda g: -g,), "neg")
+
+
+def power(a: TensorLike, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a constant exponent."""
+    a = ensure_tensor(a)
+    p = float(exponent)
+    out = a.data**p
+    return Tensor._make(
+        out,
+        (a,),
+        (lambda g, ad=a.data, p=p: g * p * ad ** (p - 1.0),),
+        "power",
+    )
+
+
+# ----------------------------------------------------------------------
+# Elementwise unary ops
+# ----------------------------------------------------------------------
+def exp(a: TensorLike) -> Tensor:
+    a = ensure_tensor(a)
+    out = np.exp(a.data)
+    return Tensor._make(out, (a,), (lambda g, o=out: g * o,), "exp")
+
+
+def log(a: TensorLike) -> Tensor:
+    a = ensure_tensor(a)
+    out = np.log(a.data)
+    return Tensor._make(out, (a,), (lambda g, ad=a.data: g / ad,), "log")
+
+
+def sqrt(a: TensorLike) -> Tensor:
+    a = ensure_tensor(a)
+    out = np.sqrt(a.data)
+    return Tensor._make(out, (a,), (lambda g, o=out: g / (2.0 * o),), "sqrt")
+
+
+def tanh(a: TensorLike) -> Tensor:
+    a = ensure_tensor(a)
+    out = np.tanh(a.data)
+    return Tensor._make(out, (a,), (lambda g, o=out: g * (1.0 - o * o),), "tanh")
+
+
+def sigmoid(a: TensorLike) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    a = ensure_tensor(a)
+    x = a.data
+    out = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))), np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+    return Tensor._make(out, (a,), (lambda g, o=out: g * o * (1.0 - o),), "sigmoid")
+
+
+def log_sigmoid(a: TensorLike) -> Tensor:
+    """``log(sigmoid(a))`` computed stably as ``-softplus(-a)``."""
+    a = ensure_tensor(a)
+    x = a.data
+    out = -(np.maximum(-x, 0.0) + np.log1p(np.exp(-np.abs(x))))
+    sig = np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.abs(x))),
+        np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))),
+    )
+    return Tensor._make(out, (a,), (lambda g, s=sig: g * (1.0 - s),), "log_sigmoid")
+
+
+def softplus(a: TensorLike) -> Tensor:
+    """``log(1 + exp(a))`` computed stably."""
+    a = ensure_tensor(a)
+    x = a.data
+    out = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    sig = np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.abs(x))),
+        np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))),
+    )
+    return Tensor._make(out, (a,), (lambda g, s=sig: g * s,), "softplus")
+
+
+def relu(a: TensorLike) -> Tensor:
+    a = ensure_tensor(a)
+    mask = a.data > 0
+    out = a.data * mask
+    return Tensor._make(out, (a,), (lambda g, m=mask: g * m,), "relu")
+
+
+def leaky_relu(a: TensorLike, negative_slope: float = 0.2) -> Tensor:
+    a = ensure_tensor(a)
+    mask = a.data > 0
+    slope = float(negative_slope)
+    scale = np.where(mask, 1.0, slope)
+    out = a.data * scale
+    return Tensor._make(out, (a,), (lambda g, s=scale: g * s,), "leaky_relu")
+
+
+def dropout(a: TensorLike, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero a fraction ``rate`` and rescale survivors."""
+    a = ensure_tensor(a)
+    if not training or rate <= 0.0:
+        return a
+    keep = 1.0 - float(rate)
+    mask = (rng.random(a.shape) < keep) / keep
+    out = a.data * mask
+    return Tensor._make(out, (a,), (lambda g, m=mask: g * m,), "dropout")
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _normalize_axis(axis, ndim: int) -> Optional[Tuple[int, ...]]:
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(ax % ndim for ax in axis)
+
+
+def sum(a: TensorLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over ``axis`` (all axes if ``None``)."""
+    a = ensure_tensor(a)
+    axes = _normalize_axis(axis, a.ndim)
+    out = a.data.sum(axis=axes, keepdims=keepdims)
+
+    def backward(g, shape=a.shape, axes=axes, keepdims=keepdims):
+        if axes is None:
+            return np.broadcast_to(g, shape).copy()
+        if not keepdims:
+            g = np.expand_dims(g, axes)
+        return np.broadcast_to(g, shape).copy()
+
+    return Tensor._make(np.asarray(out), (a,), (backward,), "sum")
+
+
+def mean(a: TensorLike, axis=None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over ``axis``."""
+    a = ensure_tensor(a)
+    axes = _normalize_axis(axis, a.ndim)
+    out = a.data.mean(axis=axes, keepdims=keepdims)
+    if axes is None:
+        count = a.size
+    else:
+        count = int(np.prod([a.shape[ax] for ax in axes]))
+
+    def backward(g, shape=a.shape, axes=axes, keepdims=keepdims, count=count):
+        if axes is None:
+            return np.broadcast_to(g / count, shape).copy()
+        if not keepdims:
+            g = np.expand_dims(g, axes)
+        return np.broadcast_to(g / count, shape).copy()
+
+    return Tensor._make(np.asarray(out), (a,), (backward,), "mean")
+
+
+def max(a: TensorLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Maximum over ``axis``; gradient flows to (all) argmax positions."""
+    a = ensure_tensor(a)
+    axes = _normalize_axis(axis, a.ndim)
+    out = a.data.max(axis=axes, keepdims=keepdims)
+    expanded = a.data.max(axis=axes, keepdims=True)
+    mask = a.data == expanded
+    counts = mask.sum(axis=axes, keepdims=True)
+
+    def backward(g, axes=axes, keepdims=keepdims, mask=mask, counts=counts):
+        if axes is not None and not keepdims:
+            g = np.expand_dims(g, axes)
+        elif axes is None:
+            g = np.asarray(g).reshape((1,) * mask.ndim)
+        return mask * (g / counts)
+
+    return Tensor._make(np.asarray(out), (a,), (backward,), "max")
+
+
+def logsumexp(a: TensorLike, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Stable ``log(sum(exp(a)))`` along one axis."""
+    a = ensure_tensor(a)
+    ax = axis % a.ndim
+    shift = a.data.max(axis=ax, keepdims=True)
+    expd = np.exp(a.data - shift)
+    total = expd.sum(axis=ax, keepdims=True)
+    out = np.log(total) + shift
+    soft = expd / total
+    if not keepdims:
+        out = out.squeeze(axis=ax)
+
+    def backward(g, soft=soft, ax=ax, keepdims=keepdims):
+        if not keepdims:
+            g = np.expand_dims(g, ax)
+        return g * soft
+
+    return Tensor._make(out, (a,), (backward,), "logsumexp")
+
+
+def softmax(a: TensorLike, axis: int = -1) -> Tensor:
+    """Stable softmax along ``axis``."""
+    a = ensure_tensor(a)
+    ax = axis % a.ndim if a.ndim else 0
+    shift = a.data - a.data.max(axis=ax, keepdims=True)
+    expd = np.exp(shift)
+    out = expd / expd.sum(axis=ax, keepdims=True)
+
+    def backward(g, o=out, ax=ax):
+        inner = (g * o).sum(axis=ax, keepdims=True)
+        return o * (g - inner)
+
+    return Tensor._make(out, (a,), (backward,), "softmax")
+
+
+def masked_softmax(a: TensorLike, mask: ArrayLike, axis: int = -1) -> Tensor:
+    """Softmax over positions where ``mask`` is truthy.
+
+    Fully-masked slices produce all-zero weights instead of NaN, which is
+    what the neighbor-sampling code relies on when a node has no neighbors.
+    """
+    a = ensure_tensor(a)
+    m = np.asarray(mask, dtype=bool)
+    ax = axis % a.ndim
+    neg = np.where(m, a.data, -np.inf)
+    shift_vals = neg.max(axis=ax, keepdims=True)
+    shift_vals = np.where(np.isfinite(shift_vals), shift_vals, 0.0)
+    expd = np.where(m, np.exp(neg - shift_vals), 0.0)
+    total = expd.sum(axis=ax, keepdims=True)
+    safe_total = np.where(total > 0, total, 1.0)
+    out = expd / safe_total
+
+    def backward(g, o=out, ax=ax):
+        inner = (g * o).sum(axis=ax, keepdims=True)
+        return o * (g - inner)
+
+    return Tensor._make(out, (a,), (backward,), "masked_softmax")
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: TensorLike, b: TensorLike) -> Tensor:
+    """Matrix product following numpy ``@`` semantics (incl. batching)."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data @ b.data
+
+    def backward_a(g, ad=a.data, bd=b.data, sa=a.shape):
+        if bd.ndim == 1:
+            grad = np.expand_dims(g, -1) * bd  # (..., n) outer
+        elif ad.ndim == 1:
+            grad = (np.expand_dims(g, -2) @ np.swapaxes(bd, -1, -2)).squeeze(-2)
+        else:
+            grad = g @ np.swapaxes(bd, -1, -2)
+        return unbroadcast(grad, sa)
+
+    def backward_b(g, ad=a.data, bd=b.data, sb=b.shape):
+        if ad.ndim == 1:
+            grad = np.expand_dims(ad, -1) * np.expand_dims(g, -2)
+        elif bd.ndim == 1:
+            grad = (np.swapaxes(ad, -1, -2) @ np.expand_dims(g, -1)).squeeze(-1)
+        else:
+            grad = np.swapaxes(ad, -1, -2) @ g
+        return unbroadcast(grad, sb)
+
+    return Tensor._make(out, (a, b), (backward_a, backward_b), "matmul")
+
+
+def _parse_einsum_subscripts(subscripts: str, n_operands: int) -> Tuple[list, str]:
+    if "->" not in subscripts:
+        raise ValueError("einsum requires explicit output subscripts ('->')")
+    lhs, rhs = subscripts.split("->")
+    operand_subs = [s.strip() for s in lhs.split(",")]
+    if len(operand_subs) != n_operands:
+        raise ValueError(
+            f"einsum got {n_operands} operands for {len(operand_subs)} subscripts"
+        )
+    return operand_subs, rhs.strip()
+
+
+def einsum(subscripts: str, *operands: TensorLike) -> Tensor:
+    """Differentiable ``numpy.einsum`` with explicit output subscripts.
+
+    The adjoint for operand *i* is ``einsum(out_subs + other_subs ->
+    subs_i, grad, *others)``.  This is valid when every index of operand
+    *i* appears in the output or some other operand, and no operand repeats
+    an index internally — both conditions are asserted.
+    """
+    tensors = [ensure_tensor(op) for op in operands]
+    operand_subs, out_subs = _parse_einsum_subscripts(subscripts, len(tensors))
+    for subs in operand_subs:
+        if len(set(subs)) != len(subs):
+            raise ValueError(f"einsum operand subscript {subs!r} repeats an index")
+    out = np.einsum(subscripts, *[t.data for t in tensors])
+
+    backward_fns = []
+    for i, subs_i in enumerate(operand_subs):
+        other_subs = [s for j, s in enumerate(operand_subs) if j != i]
+        others = [t.data for j, t in enumerate(tensors) if j != i]
+        available = set(out_subs) | set("".join(other_subs))
+        missing = set(subs_i) - available
+        if missing:
+            raise ValueError(
+                f"einsum index {missing} appears only in operand {i}; "
+                "its adjoint is not expressible — restructure the expression"
+            )
+        grad_expr = ",".join([out_subs] + other_subs) + "->" + subs_i
+
+        def backward(g, expr=grad_expr, others=tuple(others)):
+            return np.einsum(expr, g, *others)
+
+        backward_fns.append(backward)
+
+    return Tensor._make(np.asarray(out), tuple(tensors), tuple(backward_fns), "einsum")
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a: TensorLike, shape: Tuple[int, ...]) -> Tensor:
+    a = ensure_tensor(a)
+    out = a.data.reshape(shape)
+    return Tensor._make(
+        out, (a,), (lambda g, s=a.shape: g.reshape(s),), "reshape"
+    )
+
+
+def transpose(a: TensorLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    a = ensure_tensor(a)
+    out = a.data.transpose(axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+    return Tensor._make(
+        out, (a,), (lambda g, inv=inverse: g.transpose(inv),), "transpose"
+    )
+
+
+def concat(tensors: Sequence[TensorLike], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    ts = [ensure_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in ts], axis=axis)
+    sizes = [t.shape[axis] for t in ts]
+    offsets = np.cumsum([0] + sizes)
+
+    backward_fns = []
+    for i in range(len(ts)):
+        lo, hi = offsets[i], offsets[i + 1]
+
+        def backward(g, lo=lo, hi=hi, axis=axis):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(lo, hi)
+            return g[tuple(slicer)]
+
+        backward_fns.append(backward)
+
+    return Tensor._make(out, tuple(ts), tuple(backward_fns), "concat")
+
+
+def stack(tensors: Sequence[TensorLike], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    ts = [ensure_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in ts], axis=axis)
+
+    backward_fns = []
+    for i in range(len(ts)):
+
+        def backward(g, i=i, axis=axis):
+            return np.take(g, i, axis=axis)
+
+        backward_fns.append(backward)
+
+    return Tensor._make(out, tuple(ts), tuple(backward_fns), "stack")
+
+
+def index_select(a: TensorLike, index) -> Tensor:
+    """Generic ``a[index]`` with scatter-add backward.
+
+    ``index`` may be any basic/advanced numpy index expression whose
+    adjoint is well defined via ``np.add.at``.
+    """
+    a = ensure_tensor(a)
+    out = a.data[index]
+
+    def backward(g, idx=index, shape=a.shape):
+        grad = np.zeros(shape, dtype=g.dtype)
+        np.add.at(grad, idx, g)
+        return grad
+
+    return Tensor._make(np.asarray(out), (a,), (backward,), "index_select")
+
+
+def gather_rows(table: TensorLike, indices: ArrayLike) -> Tensor:
+    """Row lookup ``table[indices]`` for an integer index array.
+
+    This is the embedding-lookup primitive: ``table`` is ``(n, d)`` and
+    ``indices`` any integer-shaped array; the result has shape
+    ``indices.shape + (d,)``.  Backward scatter-adds into the table.
+    """
+    table = ensure_tensor(table)
+    idx = np.asarray(indices)
+    if idx.dtype.kind not in "iu":
+        raise TypeError("gather_rows indices must be integers")
+    out = table.data[idx]
+
+    def backward(g, idx=idx, shape=table.shape):
+        grad = np.zeros(shape, dtype=g.dtype)
+        np.add.at(grad, idx, g)
+        return grad
+
+    return Tensor._make(out, (table,), (backward,), "gather_rows")
+
+
+# Alias with the conventional deep-learning name.
+embedding_lookup = gather_rows
+
+
+def l2_norm_squared(tensors: Sequence[Tensor]) -> Tensor:
+    """Sum of squared entries across a list of tensors (L2 regularizer)."""
+    total: Optional[Tensor] = None
+    for t in tensors:
+        term = sum(mul(t, t))
+        total = term if total is None else add(total, term)
+    if total is None:
+        return Tensor(0.0)
+    return total
+
+
+def scatter_rows(values: TensorLike, indices: ArrayLike, n_rows: int) -> Tensor:
+    """Scatter-add ``(E, d)`` rows into an ``(n_rows, d)`` table.
+
+    The adjoint of :func:`gather_rows`: ``out[r] = Σ_{e: indices[e]=r}
+    values[e]``; backward gathers the output gradient back per row.  Used
+    by graph convolutions that aggregate edge messages into node tables.
+    """
+    values = ensure_tensor(values)
+    idx = np.asarray(indices)
+    if idx.dtype.kind not in "iu":
+        raise TypeError("scatter_rows indices must be integers")
+    if idx.ndim != 1 or values.ndim != 2 or len(idx) != len(values):
+        raise ValueError("scatter_rows expects (E, d) values and (E,) indices")
+    out = np.zeros((int(n_rows), values.shape[1]), dtype=values.data.dtype)
+    np.add.at(out, idx, values.data)
+
+    def backward(g, idx=idx):
+        return g[idx]
+
+    return Tensor._make(out, (values,), (backward,), "scatter_rows")

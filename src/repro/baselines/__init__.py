@@ -1,0 +1,57 @@
+"""Baseline recommenders (Sec. IV-B), all built on the same autograd
+engine, trainer and metrics as CG-KGR:
+
+* CF-based: :class:`BPRMF`, :class:`NFM`;
+* regularization-based: :class:`CKE`, :class:`KGAT`;
+* propagation-based: :class:`RippleNet`, :class:`KGCN`, :class:`KGNNLS`,
+  :class:`CKAN`;
+* extra GNN-CF references beyond the paper's line-up: :class:`LightGCN`,
+  :class:`NGCF` (the intro's "GNN methods simulating the CF process").
+"""
+
+from repro.baselines.base import Recommender
+from repro.baselines.bprmf import BPRMF
+from repro.baselines.nfm import NFM
+from repro.baselines.cke import CKE
+from repro.baselines.kgat import KGAT
+from repro.baselines.ripplenet import RippleNet
+from repro.baselines.kgcn import KGCN
+from repro.baselines.kgnn_ls import KGNNLS
+from repro.baselines.ckan import CKAN
+from repro.baselines.lightgcn import LightGCN
+from repro.baselines.ngcf import NGCF
+
+__all__ = [
+    "Recommender",
+    "BPRMF",
+    "NFM",
+    "CKE",
+    "KGAT",
+    "RippleNet",
+    "KGCN",
+    "KGNNLS",
+    "CKAN",
+    "LightGCN",
+    "NGCF",
+]
+
+
+def make_baseline(name: str, dataset, seed: int = 0, **kwargs) -> Recommender:
+    """Instantiate a baseline by its paper name (case-insensitive)."""
+    registry = {
+        "bprmf": BPRMF,
+        "nfm": NFM,
+        "cke": CKE,
+        "kgat": KGAT,
+        "ripplenet": RippleNet,
+        "kgcn": KGCN,
+        "kgnn-ls": KGNNLS,
+        "kgnnls": KGNNLS,
+        "ckan": CKAN,
+        "lightgcn": LightGCN,
+        "ngcf": NGCF,
+    }
+    key = name.lower()
+    if key not in registry:
+        raise ValueError(f"unknown baseline {name!r}; choose from {sorted(registry)}")
+    return registry[key](dataset, seed=seed, **kwargs)

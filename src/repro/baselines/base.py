@@ -1,0 +1,101 @@
+"""Common interface shared by CG-KGR and every baseline.
+
+A :class:`Recommender` is a :class:`~repro.autograd.nn.Module` that can
+
+* score a batch of (user, item) pairs (:meth:`score_pairs`),
+* produce a training loss from positives and sampled negatives
+  (:meth:`loss`), and
+* react to epoch boundaries (:meth:`begin_epoch`, used for neighborhood
+  resampling).
+
+The trainer (:mod:`repro.training.trainer`) and both evaluation protocols
+work exclusively through this interface, so every model in the comparison
+is trained and measured identically — a prerequisite for the paper's
+model-vs-model tables to be meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import no_grad, ops
+from repro.autograd.nn import Module
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import RecDataset
+
+
+class Recommender(Module):
+    """Abstract recommender over a :class:`RecDataset`."""
+
+    #: Human-readable name used in result tables.
+    name: str = "recommender"
+    #: L2 coefficient λ applied as weight decay by the trainer.
+    l2: float = 0.0
+    #: Learning rate the trainer should use unless overridden.
+    lr: float = 1e-2
+    #: Mini-batch size the trainer should use unless overridden.
+    batch_size: int = 128
+
+    def __init__(self, dataset: RecDataset, seed: int = 0):
+        self.dataset = dataset
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def score_pairs(self, users: Sequence[int], items: Sequence[int]) -> Tensor:
+        """Raw matching scores ``ŷ_{u,i}`` for aligned id arrays."""
+        raise NotImplementedError
+
+    def loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
+        """Training loss on a batch (default: pointwise sigmoid BCE).
+
+        This is Eq. (22) with the sign of the negative term corrected (see
+        DESIGN.md §5): ``J(1, ŷ⁺) + J(0, ŷ⁻)`` averaged over the batch.
+        The λ‖Θ‖² term is applied by the optimizer as weight decay.
+        """
+        pos = self.score_pairs(users, pos_items)
+        neg = self.score_pairs(users, neg_items)
+        pos_term = ops.mean(ops.log_sigmoid(pos))
+        neg_term = ops.mean(ops.log_sigmoid(ops.neg(neg)))
+        return ops.neg(ops.add(pos_term, neg_term))
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Hook called before each training epoch (default: no-op)."""
+
+    def extra_state(self) -> Optional[dict]:
+        """Non-parameter state that must travel with a weight snapshot.
+
+        Models with per-epoch resampled neighborhoods return their
+        sampler tables here, so early stopping restores the exact
+        neighborhoods the best validation score was measured with.
+        """
+        return None
+
+    def load_extra_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`extra_state`."""
+
+    # ------------------------------------------------------------------
+    def predict(self, users: Sequence[int], items: Sequence[int], batch_size: int = 2048) -> np.ndarray:
+        """Inference-mode scores as a numpy array (batched, no tape)."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        out = np.empty(len(users), dtype=np.float64)
+        with no_grad():
+            for start in range(0, len(users), batch_size):
+                sl = slice(start, start + batch_size)
+                out[sl] = self.score_pairs(users[sl], items[sl]).numpy()
+        return out
+
+    def score_all_items(self, user: int, batch_size: int = 4096) -> np.ndarray:
+        """Scores of one user against the full catalogue (Top-K ranking)."""
+        n_items = self.dataset.n_items
+        users = np.full(n_items, int(user), dtype=np.int64)
+        return self.predict(users, np.arange(n_items, dtype=np.int64), batch_size)
+
+    def bpr_loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
+        """Bayesian personalized ranking loss (used by BPRMF/CKE/KGAT)."""
+        pos = self.score_pairs(users, pos_items)
+        neg = self.score_pairs(users, neg_items)
+        return ops.neg(ops.mean(ops.log_sigmoid(ops.sub(pos, neg))))

@@ -1,0 +1,210 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro datasets                      # list profiles + stats
+    python -m repro generate --dataset book --out /tmp/book
+    python -m repro train --dataset music --model cg-kgr --epochs 20
+    python -m repro train --data-dir /tmp/book --model ckan
+    python -m repro compare --dataset book --models bprmf,kgcn,cg-kgr
+
+``train`` reports Top-K and CTR metrics on the test split; ``compare``
+runs the paired multi-seed protocol and prints a Table IV-style block.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines import make_baseline
+from repro.core import CGKGR, paper_config
+from repro.data import PROFILES, generate_profile, load_dataset_dir
+from repro.data.loaders import save_interactions_file, save_kg_file
+from repro.eval import evaluate_ctr, evaluate_topk
+from repro.training import Trainer, TrainerConfig, run_comparison
+from repro.utils import format_table
+
+CGKGR_NAMES = ("cg-kgr", "cgkgr")
+
+
+def _load_dataset(args) -> "RecDataset":
+    if getattr(args, "data_dir", None):
+        return load_dataset_dir(args.data_dir, split_seed=args.seed)
+    return generate_profile(args.dataset, seed=args.seed, scale=args.scale)
+
+
+def _make_model(name: str, dataset, seed: int):
+    key = name.lower()
+    if key in CGKGR_NAMES:
+        preset = dataset.name if dataset.name in PROFILES else "book"
+        return CGKGR(dataset, paper_config(preset), seed=seed)
+    return make_baseline(key, dataset, seed=seed)
+
+
+def cmd_datasets(args) -> int:
+    rows = []
+    for name in PROFILES:
+        summary = generate_profile(name, seed=0).summary()
+        rows.append(
+            [name] + [summary[k] for k in ("users", "items", "interactions", "entities", "relations", "kg_triples", "triples_per_item")]
+        )
+    print(
+        format_table(
+            ["profile", "users", "items", "interactions", "entities",
+             "relations", "kg triples", "triples/item"],
+            rows,
+            title="Synthetic benchmark profiles (Table II stand-ins)",
+        )
+    )
+    return 0
+
+
+def cmd_generate(args) -> int:
+    import os
+
+    dataset = generate_profile(args.dataset, seed=args.seed, scale=args.scale)
+    os.makedirs(args.out, exist_ok=True)
+    pairs = np.concatenate(
+        [dataset.train.pairs(), dataset.valid.pairs(), dataset.test.pairs()]
+    )
+    from repro.graph import InteractionGraph
+
+    everything = InteractionGraph(pairs, dataset.n_users, dataset.n_items)
+    save_interactions_file(os.path.join(args.out, "ratings_final.txt"), everything)
+    save_kg_file(os.path.join(args.out, "kg_final.txt"), dataset.kg)
+    print(f"wrote {args.out}/ratings_final.txt and kg_final.txt")
+    print("stats:", dataset.summary())
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = _load_dataset(args)
+    model = _make_model(args.model, dataset, args.seed)
+    print(f"training {model.name} on {dataset.name}: {dataset.summary()}")
+    trainer = Trainer(
+        model,
+        TrainerConfig(
+            epochs=args.epochs,
+            early_stop_patience=args.patience,
+            eval_task="topk",
+            eval_metric=f"recall@{args.k}",
+            eval_k=args.k,
+            eval_max_users=args.eval_users,
+            verbose=args.verbose,
+            seed=args.seed,
+        ),
+    )
+    fit = trainer.fit()
+    print(
+        f"best epoch {fit.best_epoch} (val recall@{args.k} = {fit.best_metric:.4f}), "
+        f"{fit.time_per_epoch:.2f}s/epoch"
+    )
+    topk = evaluate_topk(
+        model, dataset.test, k_values=(args.k,),
+        mask_splits=[dataset.train, dataset.valid],
+    )
+    ctr = evaluate_ctr(model, dataset.test)
+    print(
+        f"test: recall@{args.k} = {topk[f'recall@{args.k}']:.4f}, "
+        f"ndcg@{args.k} = {topk[f'ndcg@{args.k}']:.4f}, "
+        f"auc = {ctr['auc']:.4f}, f1 = {ctr['f1']:.4f}"
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    names = [n.strip() for n in args.models.split(",") if n.strip()]
+    factories = {
+        name: (lambda ds, seed, n=name: _make_model(n, ds, seed)) for name in names
+    }
+    result = run_comparison(
+        args.dataset,
+        factories,
+        seeds=list(range(args.seeds)),
+        trainer_config=TrainerConfig(
+            epochs=args.epochs,
+            early_stop_patience=args.patience,
+            eval_task="topk",
+            eval_metric=f"recall@{args.k}",
+            eval_k=args.k,
+            eval_max_users=args.eval_users,
+        ),
+        topk_values=(args.k,),
+        eval_ctr_too=True,
+        max_eval_users=args.eval_users,
+        scale=args.scale,
+    )
+    rows = []
+    for name in names:
+        rows.append(
+            [
+                name,
+                f"{100 * result.mean(name, f'recall@{args.k}'):.2f} ± {100 * result.std(name, f'recall@{args.k}'):.2f}",
+                f"{100 * result.mean(name, f'ndcg@{args.k}'):.2f}",
+                f"{100 * result.mean(name, 'auc'):.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["model", f"recall@{args.k}(%)", f"ndcg@{args.k}(%)", "auc(%)"],
+            rows,
+            title=f"{args.dataset}: {args.seeds}-seed comparison",
+        )
+    )
+    if len(names) >= 2 and args.seeds >= 2:
+        report = result.significance(f"recall@{args.k}")
+        print(
+            f"\nbest = {report['best']} vs {report['second']}: "
+            f"gain {report['gain_pct']:+.2f}%, p = {report['p_value']:.4f}"
+            f"{' (significant)' if report['significant'] else ''}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list synthetic benchmark profiles")
+    p.set_defaults(func=cmd_datasets)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--dataset", default="music", choices=sorted(PROFILES))
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("generate", parents=[common], help="export a profile in the artifact file format")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    train_common = argparse.ArgumentParser(add_help=False, parents=[common])
+    train_common.add_argument("--epochs", type=int, default=30)
+    train_common.add_argument("--patience", type=int, default=8)
+    train_common.add_argument("--k", type=int, default=20)
+    train_common.add_argument("--eval-users", type=int, default=60)
+
+    p = sub.add_parser("train", parents=[train_common], help="train one model")
+    p.add_argument("--model", default="cg-kgr")
+    p.add_argument("--data-dir", default=None, help="load real data instead of a profile")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("compare", parents=[train_common], help="multi-seed model comparison")
+    p.add_argument("--models", default="bprmf,kgcn,cg-kgr")
+    p.add_argument("--seeds", type=int, default=3)
+    p.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

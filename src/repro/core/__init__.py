@@ -1,0 +1,27 @@
+"""CG-KGR core: the paper's primary contribution.
+
+* :class:`~repro.core.config.CGKGRConfig` — hyper-parameters (Table III).
+* :class:`~repro.core.model.CGKGR` — the full model (Sec. III, Alg. 1).
+* :mod:`~repro.core.aggregators` — ``g`` ∈ {sum, concat, neighbor} (Eq. 7-9).
+* :mod:`~repro.core.encoders` — ``f`` ∈ {sum, mean, pmax} (Eq. 10-12).
+* :mod:`~repro.core.attention` — collaboration attention (Eq. 1-2) and
+  knowledge-aware attention with collaborative guidance (Eq. 13-15, 19).
+* :mod:`~repro.core.variants` — the ablation variants of Tables VII/VIII.
+"""
+
+from repro.core.config import CGKGRConfig, paper_config
+from repro.core.model import CGKGR
+from repro.core.aggregators import Aggregator, make_aggregator
+from repro.core.encoders import make_encoder
+from repro.core.variants import make_variant, VARIANTS
+
+__all__ = [
+    "CGKGR",
+    "CGKGRConfig",
+    "paper_config",
+    "Aggregator",
+    "make_aggregator",
+    "make_encoder",
+    "make_variant",
+    "VARIANTS",
+]

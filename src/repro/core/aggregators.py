@@ -1,0 +1,85 @@
+"""Information aggregators ``g(v1, v2)`` (Sec. III-A4, Eq. 7-9).
+
+All three map a node's current embedding ``v1`` and its neighborhood
+summary ``v2`` to an updated d-dimensional embedding:
+
+* **sum** — ``σ(W (v1 + v2) + b)`` (GCN-style, Kipf & Welling);
+* **concat** — ``σ(W [v1 || v2] + b)`` (GraphSAGE-style);
+* **neighbor** — ``σ(W v2 + b)`` (GAT-style, neighbors only).
+
+Inputs may carry arbitrary leading batch dimensions; the linear map acts
+on the trailing feature axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import init, ops
+from repro.autograd.nn import Module, Parameter, activation
+from repro.autograd.tensor import Tensor
+
+
+class Aggregator(Module):
+    """Base: holds the trainable ``W``/``b`` and the nonlinearity σ."""
+
+    def __init__(self, dim: int, in_multiplier: int, rng: np.random.Generator, act: str = "tanh"):
+        self.dim = dim
+        self.weight = Parameter(init.xavier_uniform((in_multiplier * dim, dim), rng))
+        self.bias = Parameter(np.zeros(dim))
+        self._activation = activation(act)
+
+    def _affine(self, x: Tensor) -> Tensor:
+        return self._activation(ops.add(ops.matmul(x, self.weight), self.bias))
+
+    def forward(self, self_vec: Tensor, neighbor_vec: Tensor) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SumAggregator(Aggregator):
+    """``g_sum = σ(W · (v1 + v2) + b)`` (Eq. 7)."""
+
+    def __init__(self, dim: int, rng: np.random.Generator, act: str = "tanh"):
+        super().__init__(dim, 1, rng, act)
+
+    def forward(self, self_vec: Tensor, neighbor_vec: Tensor) -> Tensor:
+        return self._affine(ops.add(self_vec, neighbor_vec))
+
+
+class ConcatAggregator(Aggregator):
+    """``g_concat = σ(W · [v1 || v2] + b)`` (Eq. 8)."""
+
+    def __init__(self, dim: int, rng: np.random.Generator, act: str = "tanh"):
+        super().__init__(dim, 2, rng, act)
+
+    def forward(self, self_vec: Tensor, neighbor_vec: Tensor) -> Tensor:
+        return self._affine(ops.concat([self_vec, neighbor_vec], axis=-1))
+
+
+class NeighborAggregator(Aggregator):
+    """``g_neighbor = σ(W · v2 + b)`` (Eq. 9)."""
+
+    def __init__(self, dim: int, rng: np.random.Generator, act: str = "tanh"):
+        super().__init__(dim, 1, rng, act)
+
+    def forward(self, self_vec: Tensor, neighbor_vec: Tensor) -> Tensor:
+        return self._affine(neighbor_vec)
+
+
+_AGGREGATORS = {
+    "sum": SumAggregator,
+    "concat": ConcatAggregator,
+    "neighbor": NeighborAggregator,
+}
+
+
+def make_aggregator(name: str, dim: int, rng: np.random.Generator, act: str = "tanh") -> Aggregator:
+    """Factory over the paper's three aggregator choices ('ngh' accepted)."""
+    canonical = {"ngh": "neighbor"}.get(name, name)
+    try:
+        cls = _AGGREGATORS[canonical]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregator {name!r}; choose from {sorted(_AGGREGATORS)}"
+        ) from None
+    return cls(dim, rng, act)

@@ -1,0 +1,191 @@
+"""Attention mechanisms of CG-KGR.
+
+Two mechanisms, both multi-head (H heads averaged, Eq. 4):
+
+* **Collaboration attention** (Eq. 1-2) over user-item neighborhoods:
+  ``π(u, i) = v_u^T M_{r*} v_i`` with one ``M_{r*}^h`` per head; the same
+  matrix is shared between the user-centric and item-centric directions
+  (Sec. III-A3).
+
+* **Knowledge-aware attention with collaborative guidance** (Eq. 13-15,
+  19): ``ω = v_h^T (f ⊙ M_r) v_t`` where the guidance signal ``f``
+  (``R^d``) gates the rows of the relation matrix ``M_r``.  Using
+  ``(f ⊙ M_r)[p, q] = f_p · M_r[p, q]`` the score factorizes as
+  ``ω = Σ_p (f_p v_{h,p}) (M_r v_t)_p``, so we pre-transform the *whole
+  entity table* by every relation once per forward pass
+  (``T[n, r, h] = M_r^h v_n``) and then gather per edge — attention at
+  every hop uses the entities' original embeddings (Eq. 19), so one table
+  serves all hops.
+
+Masked slots (padded neighbors) receive exactly zero weight via
+:func:`~repro.autograd.ops.masked_softmax`; the ``uniform`` flag replaces
+attention by mask-normalized averaging (the w/o ATT ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import init, ops
+from repro.autograd.nn import Module, Parameter
+from repro.autograd.tensor import Tensor
+
+
+def _uniform_weights(mask: np.ndarray) -> np.ndarray:
+    """Mask-normalized uniform weights along the last axis."""
+    m = mask.astype(np.float64)
+    counts = m.sum(axis=-1, keepdims=True)
+    return m / np.where(counts > 0, counts, 1.0)
+
+
+class CollaborationAttention(Module):
+    """Multi-head collaboration attention over interaction neighborhoods."""
+
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator):
+        self.dim = dim
+        self.n_heads = n_heads
+        # One M_{r*} per head: (H, d, d).
+        self.relation_matrix = Parameter(init.xavier_uniform((n_heads, dim, dim), rng))
+
+    def scores(self, center: Tensor, neighbors: Tensor) -> Tensor:
+        """Unnormalized ``π`` (Eq. 1) per head: (B, H, K)."""
+        return ops.einsum(
+            "bd,hde,bke->bhk", center, self.relation_matrix, neighbors
+        )
+
+    def forward(
+        self,
+        center: Tensor,
+        neighbors: Tensor,
+        mask: np.ndarray,
+        uniform: bool = False,
+    ) -> Tensor:
+        """Neighborhood summary ``v_S`` (Eq. 3-5): (B, d).
+
+        Parameters
+        ----------
+        center:
+            (B, d) embeddings of the attending node.
+        neighbors:
+            (B, K, d) embeddings of its sampled neighbors.
+        mask:
+            (B, K) validity; padded slots get zero weight.
+        uniform:
+            Replace attention by uniform averaging (w/o ATT ablation).
+        """
+        if uniform:
+            weights_np = _uniform_weights(mask)  # (B, K)
+            weighted = ops.einsum("bk,bke->be", Tensor(weights_np), neighbors)
+            return weighted
+        raw = self.scores(center, neighbors)  # (B, H, K)
+        weights = ops.masked_softmax(raw, mask[:, None, :], axis=-1)
+        per_head = ops.einsum("bhk,bke->bhe", weights, neighbors)
+        return ops.mean(per_head, axis=1)
+
+    def attention_weights(
+        self, center: Tensor, neighbors: Tensor, mask: np.ndarray
+    ) -> np.ndarray:
+        """Head-averaged normalized weights ``π̂`` for introspection."""
+        raw = self.scores(center, neighbors)
+        weights = ops.masked_softmax(raw, mask[:, None, :], axis=-1)
+        return weights.numpy().mean(axis=1)
+
+
+class KnowledgeAwareAttention(Module):
+    """Knowledge-aware attention with collaborative guidance (Eq. 13-19)."""
+
+    def __init__(self, dim: int, n_heads: int, n_relations: int, rng: np.random.Generator):
+        self.dim = dim
+        self.n_heads = n_heads
+        self.n_relations = n_relations
+        # M_r per relation and head: (R, H, d, d).
+        self.relation_matrices = Parameter(
+            init.xavier_uniform((n_relations, n_heads, dim, dim), rng)
+        )
+
+    def transform_entity_table(self, entity_table: Tensor) -> Tensor:
+        """``T[n, r, h, p] = (M_r^h v_n)_p`` for the full entity table.
+
+        Computed once per forward pass and reused at every hop, since
+        attention always scores against original entity embeddings.
+        """
+        return ops.einsum(
+            "nq,rhpq->nrhp", entity_table, self.relation_matrices
+        )
+
+    def scores(
+        self,
+        head_vectors: Tensor,
+        guidance: Optional[Tensor],
+        transformed_tails: Tensor,
+    ) -> Tensor:
+        """Unnormalized ``ω`` (Eq. 14/19): (B, H, E).
+
+        Parameters
+        ----------
+        head_vectors:
+            (B, E, d) attention embedding of each edge's head (the parent
+            node), already repeated per child slot.
+        guidance:
+            (B, d) guidance signal ``f(v_u, v_i)``, or ``None`` for the
+            w/o CG ablation (all-one gate).
+        transformed_tails:
+            (B, E, H, d) gathered rows of the transformed entity table for
+            each edge's (tail, relation).
+        """
+        if guidance is not None:
+            gated = ops.mul(head_vectors, ops.reshape(guidance, (guidance.shape[0], 1, guidance.shape[1])))
+        else:
+            gated = head_vectors
+        return ops.einsum("bed,behd->bhe", gated, transformed_tails)
+
+    def forward(
+        self,
+        head_vectors: Tensor,
+        guidance: Optional[Tensor],
+        transformed_tails: Tensor,
+        child_values: Tensor,
+        mask: np.ndarray,
+        group_size: int,
+        uniform: bool = False,
+    ) -> Tensor:
+        """Per-parent neighborhood summaries (Eq. 16/18): (B, W, d).
+
+        ``E = W * group_size`` edges are grouped into W parents with
+        ``group_size`` children each; softmax normalizes within a group.
+
+        ``child_values`` are the *updated* child embeddings from the
+        deeper hop (Alg. 1's cascade), shape (B, E, d).
+        """
+        batch, n_edges, dim = child_values.shape
+        width = n_edges // group_size
+        values = ops.reshape(child_values, (batch, width, group_size, dim))
+        grouped_mask = mask.reshape(batch, width, group_size)
+        if uniform:
+            weights_np = _uniform_weights(grouped_mask)  # (B, W, K)
+            return ops.einsum("bwk,bwkd->bwd", Tensor(weights_np), values)
+        raw = self.scores(head_vectors, guidance, transformed_tails)  # (B, H, E)
+        raw = ops.reshape(raw, (batch, self.n_heads, width, group_size))
+        weights = ops.masked_softmax(raw, grouped_mask[:, None, :, :], axis=-1)
+        per_head = ops.einsum("bhwk,bwkd->bhwd", weights, values)
+        return ops.mean(per_head, axis=1)
+
+    def attention_weights(
+        self,
+        head_vectors: Tensor,
+        guidance: Optional[Tensor],
+        transformed_tails: Tensor,
+        mask: np.ndarray,
+        group_size: int,
+    ) -> np.ndarray:
+        """Head-averaged normalized ``ω̂`` (Eq. 15) for introspection."""
+        batch, n_edges, _ = head_vectors.shape
+        width = n_edges // group_size
+        raw = self.scores(head_vectors, guidance, transformed_tails)
+        raw = ops.reshape(raw, (batch, self.n_heads, width, group_size))
+        weights = ops.masked_softmax(
+            raw, mask.reshape(batch, width, group_size)[:, None, :, :], axis=-1
+        )
+        return weights.numpy().mean(axis=1).reshape(batch, n_edges)

@@ -1,0 +1,51 @@
+"""Collaborative guidance signal encoders ``f(v_u, v_i)`` (Eq. 10-12).
+
+The encoder condenses the (interactively-summarized) target user and item
+embeddings into the d-dimensional guidance signal that later gates the
+knowledge-aware attention (Eq. 13).  All three are parameter-free:
+
+* **sum** — ``v_u + v_i``;
+* **mean** — ``(v_u + v_i) / 2`` (the paper's best, Table IX);
+* **pmax** — elementwise maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+
+Encoder = Callable[[Tensor, Tensor], Tensor]
+
+
+def sum_encoder(v_user: Tensor, v_item: Tensor) -> Tensor:
+    """``f_sum`` (Eq. 10)."""
+    return ops.add(v_user, v_item)
+
+
+def mean_encoder(v_user: Tensor, v_item: Tensor) -> Tensor:
+    """``f_mean`` (Eq. 11)."""
+    return ops.mul(ops.add(v_user, v_item), 0.5)
+
+
+def pmax_encoder(v_user: Tensor, v_item: Tensor) -> Tensor:
+    """``f_pmax`` (Eq. 12)."""
+    return ops.maximum(v_user, v_item)
+
+
+_ENCODERS = {
+    "sum": sum_encoder,
+    "mean": mean_encoder,
+    "pmax": pmax_encoder,
+}
+
+
+def make_encoder(name: str) -> Encoder:
+    """Factory over the paper's three guidance encoders."""
+    try:
+        return _ENCODERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown guidance encoder {name!r}; choose from {sorted(_ENCODERS)}"
+        ) from None

@@ -1,0 +1,262 @@
+"""The CG-KGR model (Sec. III, Algorithm 1).
+
+Forward pass for a batch of target pairs ``(u, i)``:
+
+1. **Interactive information summarization** — multi-head collaboration
+   attention over ``S(u)`` and ``S_UI(i)`` (Eq. 1-5), aggregated with
+   ``g`` (Eq. 6) to produce ``v_u`` and ``v_i``.
+2. **Guidance signal encoding** — ``f(v_u, v_i)`` (Eq. 10-12).
+3. **Knowledge extraction with collaborative guidance** — a single sweep
+   from hop L down to hop 1 over a sampled node flow; at each hop the
+   guidance-gated knowledge-aware attention (Eq. 13-15, 19) weighs child
+   entities and ``g`` folds the summary into the parent (Eq. 16-20).
+   Hop 0 yields the knowledge-enriched item embedding ``v_i^u``.
+4. **Prediction** — inner product ``ŷ = v_u^T v_i^u`` (Eq. 21).
+
+Training uses pointwise sigmoid cross-entropy over positives and per-epoch
+resampled negatives with L2 weight decay (Eq. 22, sign corrected; see
+DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import no_grad, ops
+from repro.autograd.nn import Embedding
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import Recommender
+from repro.core.aggregators import make_aggregator
+from repro.core.attention import CollaborationAttention, KnowledgeAwareAttention
+from repro.core.config import CGKGRConfig
+from repro.core.encoders import make_encoder
+from repro.data.dataset import RecDataset
+from repro.graph.sampling import NeighborSampler
+
+
+def _repeat_children(x: Tensor, group_size: int) -> Tensor:
+    """(B, W, d) -> (B, W*K, d), repeating each parent K times."""
+    batch, width, dim = x.shape
+    expanded = ops.mul(
+        ops.reshape(x, (batch, width, 1, dim)), np.ones((1, 1, group_size, 1))
+    )
+    return ops.reshape(expanded, (batch, width * group_size, dim))
+
+
+class CGKGR(Recommender):
+    """Attentive knowledge-aware GCN with collaborative guidance."""
+
+    name = "CG-KGR"
+
+    def __init__(
+        self,
+        dataset: RecDataset,
+        config: Optional[CGKGRConfig] = None,
+        seed: int = 0,
+    ):
+        super().__init__(dataset, seed)
+        self.config = config or CGKGRConfig()
+        cfg = self.config
+        self.l2 = cfg.l2
+        self.lr = cfg.lr
+        self.batch_size = cfg.batch_size
+
+        self.user_embedding = Embedding(dataset.n_users, cfg.dim, self.rng)
+        # Items are entities 0..n_items-1 (I ⊆ E): one shared table.
+        self.entity_embedding = Embedding(dataset.n_entities, cfg.dim, self.rng)
+
+        self.collab_attention = CollaborationAttention(cfg.dim, cfg.n_heads, self.rng)
+        self.kg_attention = KnowledgeAwareAttention(
+            cfg.dim, cfg.n_heads, dataset.n_relations, self.rng
+        )
+        self.encoder = make_encoder(cfg.encoder)
+        self.user_aggregator = make_aggregator(cfg.aggregator, cfg.dim, self.rng, cfg.activation)
+        self.item_aggregator = make_aggregator(cfg.aggregator, cfg.dim, self.rng, cfg.activation)
+        self.kg_aggregator = make_aggregator(cfg.aggregator, cfg.dim, self.rng, cfg.activation)
+
+        self.sampler = NeighborSampler(
+            kg=dataset.kg,
+            interactions=dataset.train,
+            user_sample_size=cfg.user_sample_size,
+            item_sample_size=cfg.item_sample_size,
+            kg_sample_size=cfg.kg_sample_size,
+            rng=np.random.default_rng(seed + 1),
+            kg_strategy=cfg.kg_sampling,
+        )
+
+    # ------------------------------------------------------------------
+    def begin_epoch(self, epoch: int) -> None:
+        """Redraw fixed-size neighborhoods (Alg. 1 samples per iteration)."""
+        if self.config.resample_each_epoch:
+            self.sampler.resample()
+
+    def extra_state(self) -> dict:
+        return self.sampler.state()
+
+    def load_extra_state(self, state: dict) -> None:
+        self.sampler.load_state(state)
+
+    # ------------------------------------------------------------------
+    # Interactive information summarization (Sec. III-A)
+    # ------------------------------------------------------------------
+    def _summarize_user(self, users: np.ndarray, v_user0: Tensor) -> Tensor:
+        """``v_u = g(v_u, v_S(u))`` (Eq. 3-6)."""
+        neighborhood = self.sampler.user_neighborhood(users)
+        neighbor_items = self.entity_embedding(neighborhood.indices)
+        summary = self.collab_attention(
+            v_user0, neighbor_items, neighborhood.mask,
+            uniform=not self.config.use_attention,
+        )
+        return self.user_aggregator(v_user0, summary)
+
+    def _summarize_item(self, items: np.ndarray, v_item0: Tensor) -> Tensor:
+        """``v_i = g(v_i, v_S_UI(i))`` (Eq. 5-6)."""
+        neighborhood = self.sampler.item_neighborhood(items)
+        neighbor_users = self.user_embedding(neighborhood.indices)
+        summary = self.collab_attention(
+            v_item0, neighbor_users, neighborhood.mask,
+            uniform=not self.config.use_attention,
+        )
+        return self.item_aggregator(v_item0, summary)
+
+    def _guidance_signal(
+        self, v_user0: Tensor, v_item0: Tensor, v_user: Tensor, v_item: Tensor
+    ) -> Optional[Tensor]:
+        """Guidance ``f`` per the configured mode; ``None`` disables gating
+        (the w/o CG ablation's all-one vector)."""
+        cfg = self.config
+        if not cfg.use_guidance:
+            return None
+        if not cfg.use_interactive or cfg.guidance_mode == "ne":
+            return self.encoder(v_user0, v_item0)
+        if cfg.guidance_mode == "pf":
+            return self.encoder(v_user, v_item0)
+        if cfg.guidance_mode == "ag":
+            return self.encoder(v_user0, v_item)
+        return self.encoder(v_user, v_item)
+
+    # ------------------------------------------------------------------
+    # Knowledge extraction with collaborative guidance (Sec. III-B)
+    # ------------------------------------------------------------------
+    def _extract_knowledge(
+        self, items: np.ndarray, v_item: Tensor, guidance: Optional[Tensor]
+    ) -> Tensor:
+        """Single sweep hop L → 1 over a node flow (Alg. 1 lines 10-14)."""
+        cfg = self.config
+        depth = cfg.effective_depth
+        if depth == 0:
+            return v_item
+        batch = len(items)
+        flow = self.sampler.kg_node_flow(items, depth, cfg.no_traverse_back)
+        k = cfg.kg_sample_size
+
+        # Current values per hop; hop 0 starts from the interactively
+        # enriched v_i (Table I: "embeddings of item i with interactive
+        # information"), deeper hops from the entity table.
+        vectors: List[Tensor] = [ops.reshape(v_item, (batch, 1, cfg.dim))]
+        for level in range(1, depth + 1):
+            vectors.append(self.entity_embedding(flow.entities[level]))
+
+        transformed = None
+        if cfg.use_attention:
+            transformed = self.kg_attention.transform_entity_table(
+                self.entity_embedding.weight
+            )
+
+        for level in range(depth, 0, -1):
+            child_values = vectors[level]  # (B, W*K, d)
+            mask = flow.masks[level]
+            if cfg.use_attention:
+                # Attention heads: hop-0 uses v_i (Eq. 14), deeper hops the
+                # original entity embeddings (Eq. 19).
+                if level == 1:
+                    head_source = ops.reshape(v_item, (batch, 1, cfg.dim))
+                else:
+                    head_source = self.entity_embedding(flow.entities[level - 1])
+                heads = _repeat_children(head_source, k)
+                gathered = ops.index_select(
+                    transformed, (flow.entities[level], flow.relations[level])
+                )  # (B, W*K, H, d)
+                summary = self.kg_attention(
+                    heads, guidance, gathered, child_values, mask, k
+                )
+            else:
+                summary = self.kg_attention(
+                    None, None, None, child_values, mask, k, uniform=True
+                )
+            vectors[level - 1] = self.kg_aggregator(vectors[level - 1], summary)
+
+        return ops.reshape(vectors[0], (batch, cfg.dim))
+
+    # ------------------------------------------------------------------
+    # Recommender interface
+    # ------------------------------------------------------------------
+    def score_pairs(self, users: Sequence[int], items: Sequence[int]) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        v_user0 = self.user_embedding(users)
+        v_item0 = self.entity_embedding(items)
+
+        if self.config.use_interactive:
+            v_user = self._summarize_user(users, v_user0)
+            v_item = self._summarize_item(items, v_item0)
+        else:
+            v_user, v_item = v_user0, v_item0
+
+        guidance = self._guidance_signal(v_user0, v_item0, v_user, v_item)
+        v_item_final = self._extract_knowledge(items, v_item, guidance)
+        return ops.sum(ops.mul(v_user, v_item_final), axis=-1)
+
+    def predict(self, users, items, batch_size: int = 512) -> np.ndarray:
+        # Smaller inference batches than the generic default: the node-flow
+        # gather is O(batch · K^L · H · d) memory.
+        return super().predict(users, items, batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # Introspection (Fig. 5 case study)
+    # ------------------------------------------------------------------
+    def explain(self, user: int, item: int) -> Dict[str, np.ndarray]:
+        """First-hop KG attention with and without collaborative guidance.
+
+        Returns the sampled hop-1 entities/relations of ``item`` and the
+        normalized attention each receives (a) under the full guidance
+        signal of ``(user, item)`` and (b) with guidance disabled — the
+        Fig. 5 visualization.
+        """
+        users = np.asarray([user], dtype=np.int64)
+        items = np.asarray([item], dtype=np.int64)
+        with no_grad():
+            v_user0 = self.user_embedding(users)
+            v_item0 = self.entity_embedding(items)
+            if self.config.use_interactive:
+                v_user = self._summarize_user(users, v_user0)
+                v_item = self._summarize_item(items, v_item0)
+            else:
+                v_user, v_item = v_user0, v_item0
+            guidance = self._guidance_signal(v_user0, v_item0, v_user, v_item)
+            flow = self.sampler.kg_node_flow(items, 1, self.config.no_traverse_back)
+            transformed = self.kg_attention.transform_entity_table(
+                self.entity_embedding.weight
+            )
+            heads = _repeat_children(
+                ops.reshape(v_item, (1, 1, self.config.dim)),
+                self.config.kg_sample_size,
+            )
+            gathered = ops.index_select(
+                transformed, (flow.entities[1], flow.relations[1])
+            )
+            guided = self.kg_attention.attention_weights(
+                heads, guidance, gathered, flow.masks[1], self.config.kg_sample_size
+            )
+            unguided = self.kg_attention.attention_weights(
+                heads, None, gathered, flow.masks[1], self.config.kg_sample_size
+            )
+        return {
+            "entities": flow.entities[1][0],
+            "relations": flow.relations[1][0],
+            "mask": flow.masks[1][0],
+            "guided_weights": guided[0],
+            "unguided_weights": unguided[0],
+        }

@@ -1,0 +1,51 @@
+"""Ablation variants of CG-KGR (Tables VII and VIII).
+
+Each variant is a named config transformation; :func:`make_variant`
+builds a ready model.  Names follow the paper:
+
+* Table VII (guidance-signal content): ``ne``, ``pf``, ``ag``;
+* Table VIII (component removals): ``wo_ui``, ``wo_kg``, ``wo_att``,
+  ``wo_cg``, ``wo_he``;
+* ``full`` — the complete model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.config import CGKGRConfig
+from repro.core.model import CGKGR
+from repro.data.dataset import RecDataset
+
+ConfigTransform = Callable[[CGKGRConfig], CGKGRConfig]
+
+VARIANTS: Dict[str, ConfigTransform] = {
+    "full": lambda cfg: cfg,
+    # Table VII — what goes into the guidance signal.
+    "ne": lambda cfg: cfg.with_overrides(guidance_mode="ne"),
+    "pf": lambda cfg: cfg.with_overrides(guidance_mode="pf"),
+    "ag": lambda cfg: cfg.with_overrides(guidance_mode="ag"),
+    # Table VIII — component removals.
+    "wo_ui": lambda cfg: cfg.with_overrides(use_interactive=False),
+    "wo_kg": lambda cfg: cfg.with_overrides(use_kg=False),
+    "wo_att": lambda cfg: cfg.with_overrides(use_attention=False),
+    "wo_cg": lambda cfg: cfg.with_overrides(use_guidance=False),
+    "wo_he": lambda cfg: cfg.with_overrides(depth=min(cfg.depth, 1)),
+}
+
+
+def make_variant(
+    name: str,
+    dataset: RecDataset,
+    config: Optional[CGKGRConfig] = None,
+    seed: int = 0,
+) -> CGKGR:
+    """Instantiate a CG-KGR ablation variant by name."""
+    try:
+        transform = VARIANTS[name]
+    except KeyError:
+        raise ValueError(f"unknown variant {name!r}; choose from {sorted(VARIANTS)}") from None
+    cfg = transform(config or CGKGRConfig())
+    model = CGKGR(dataset, cfg, seed=seed)
+    model.name = f"CG-KGR[{name}]" if name != "full" else "CG-KGR"
+    return model

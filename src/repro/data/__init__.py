@@ -1,0 +1,33 @@
+"""Data layer: dataset container, 6:2:2 splitting, negative sampling,
+synthetic benchmark profiles (music/book/movie/restaurant), and loaders
+for the rating/KG text formats used by the official CG-KGR artifact.
+"""
+
+from repro.data.dataset import DatasetSplits, RecDataset
+from repro.data.splits import split_interactions
+from repro.data.negative_sampling import (
+    sample_ctr_negatives,
+    sample_training_negatives,
+)
+from repro.data.synthetic import (
+    PROFILES,
+    SyntheticProfile,
+    generate_dataset,
+    generate_profile,
+)
+from repro.data.loaders import load_interactions_file, load_kg_file, load_dataset_dir
+
+__all__ = [
+    "RecDataset",
+    "DatasetSplits",
+    "split_interactions",
+    "sample_training_negatives",
+    "sample_ctr_negatives",
+    "SyntheticProfile",
+    "PROFILES",
+    "generate_dataset",
+    "generate_profile",
+    "load_interactions_file",
+    "load_kg_file",
+    "load_dataset_dir",
+]

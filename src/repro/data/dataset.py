@@ -1,0 +1,115 @@
+"""Dataset container binding interactions, KG and splits together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graph.interactions import InteractionGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+@dataclass
+class DatasetSplits:
+    """Train/validation/test interaction graphs (6:2:2 in the paper)."""
+
+    train: InteractionGraph
+    valid: InteractionGraph
+    test: InteractionGraph
+
+
+@dataclass
+class RecDataset:
+    """A recommendation benchmark: users, items, KG and split interactions.
+
+    Items are aligned to KG entities ``0..n_items-1`` (Sec. II, ``I ⊆ E``);
+    entities beyond ``n_items`` are pure attribute/background entities.
+    """
+
+    name: str
+    n_users: int
+    n_items: int
+    kg: KnowledgeGraph
+    splits: DatasetSplits
+
+    def __post_init__(self) -> None:
+        if self.n_items > self.kg.n_entities:
+            raise ValueError(
+                f"{self.name}: n_items ({self.n_items}) exceeds KG entities "
+                f"({self.kg.n_entities}); items must map to entities"
+            )
+        for graph in (self.splits.train, self.splits.valid, self.splits.test):
+            if graph.n_users != self.n_users or graph.n_items != self.n_items:
+                raise ValueError(f"{self.name}: split shape mismatch")
+
+    # ------------------------------------------------------------------
+    @property
+    def train(self) -> InteractionGraph:
+        return self.splits.train
+
+    @property
+    def valid(self) -> InteractionGraph:
+        return self.splits.valid
+
+    @property
+    def test(self) -> InteractionGraph:
+        return self.splits.test
+
+    @property
+    def n_entities(self) -> int:
+        return self.kg.n_entities
+
+    @property
+    def n_relations(self) -> int:
+        return self.kg.n_relations
+
+    @property
+    def n_interactions(self) -> int:
+        return (
+            self.train.n_interactions
+            + self.valid.n_interactions
+            + self.test.n_interactions
+        )
+
+    def knowledge_richness(self) -> float:
+        """The paper's ``#KG triples / #items`` statistic (Sec. IV-D)."""
+        return self.kg.triples_per_item(self.n_items)
+
+    def all_positive_items(self) -> Dict[int, Set[int]]:
+        """Union of positives over all splits, per user.
+
+        Used to avoid sampling false negatives and to mask training items
+        in the Top-K ranking protocol.
+        """
+        positives: Dict[int, Set[int]] = {}
+        for graph in (self.train, self.valid, self.test):
+            for u, i in zip(graph.users, graph.items):
+                positives.setdefault(int(u), set()).add(int(i))
+        return positives
+
+    def with_kg(self, kg: KnowledgeGraph) -> "RecDataset":
+        """Copy of this dataset with a replaced KG (corruption studies)."""
+        return RecDataset(
+            name=self.name,
+            n_users=self.n_users,
+            n_items=self.n_items,
+            kg=kg,
+            splits=self.splits,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Table II-style statistics."""
+        return {
+            "users": self.n_users,
+            "items": self.n_items,
+            "interactions": self.n_interactions,
+            "entities": self.n_entities,
+            "relations": self.n_relations,
+            "kg_triples": self.kg.n_triples,
+            "triples_per_item": round(self.knowledge_richness(), 2),
+            "density": round(
+                self.n_interactions / max(1, self.n_users * self.n_items), 5
+            ),
+        }

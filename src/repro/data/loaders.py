@@ -1,0 +1,97 @@
+"""Loaders for the text formats used by the official CG-KGR artifact.
+
+The released datasets ship two files per benchmark:
+
+* ``ratings_final.txt`` — lines of ``user<TAB>item<TAB>label`` where label
+  is 1 (positive) or 0 (sampled negative);
+* ``kg_final.txt`` — lines of ``head<TAB>relation<TAB>tail``.
+
+These loaders accept that format (tab or whitespace separated) so the real
+datasets drop into this reproduction unchanged; only positive pairs are
+kept from the ratings file (negatives are resampled by our protocol).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+from repro.data.splits import split_interactions
+from repro.graph.interactions import InteractionGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+def _parse_int_lines(path: str, n_fields: int) -> List[Tuple[int, ...]]:
+    rows: List[Tuple[int, ...]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < n_fields:
+                raise ValueError(
+                    f"{path}:{lineno}: expected {n_fields} fields, got {len(parts)}"
+                )
+            rows.append(tuple(int(p) for p in parts[:n_fields]))
+    return rows
+
+
+def load_interactions_file(path: str) -> InteractionGraph:
+    """Load ``user item label`` ratings, keeping positive pairs only."""
+    rows = _parse_int_lines(path, 3)
+    positives = [(u, i) for u, i, label in rows if label == 1]
+    if not positives:
+        raise ValueError(f"{path}: no positive interactions found")
+    n_users = max(u for u, _, _ in rows) + 1
+    n_items = max(i for _, i, _ in rows) + 1
+    return InteractionGraph(positives, n_users=n_users, n_items=n_items)
+
+
+def load_kg_file(path: str, n_entities: int | None = None, n_relations: int | None = None) -> KnowledgeGraph:
+    """Load ``head relation tail`` triples."""
+    rows = _parse_int_lines(path, 3)
+    triples = [(h, r, t) for h, r, t in rows]
+    return KnowledgeGraph(triples, n_entities=n_entities, n_relations=n_relations)
+
+
+def load_dataset_dir(
+    directory: str,
+    name: str | None = None,
+    split_seed: int = 0,
+    ratings_filename: str = "ratings_final.txt",
+    kg_filename: str = "kg_final.txt",
+) -> RecDataset:
+    """Load a full benchmark from a directory in the artifact layout."""
+    ratings_path = os.path.join(directory, ratings_filename)
+    kg_path = os.path.join(directory, kg_filename)
+    interactions = load_interactions_file(ratings_path)
+    kg = load_kg_file(kg_path)
+    n_entities = max(kg.n_entities, interactions.n_items)
+    if n_entities > kg.n_entities:
+        kg = KnowledgeGraph(kg.triples, n_entities=n_entities, n_relations=kg.n_relations)
+    splits = split_interactions(interactions, seed=split_seed)
+    return RecDataset(
+        name=name or os.path.basename(os.path.normpath(directory)),
+        n_users=interactions.n_users,
+        n_items=interactions.n_items,
+        kg=kg,
+        splits=splits,
+    )
+
+
+def save_interactions_file(path: str, interactions: InteractionGraph) -> None:
+    """Write positives in the artifact's ratings format (label always 1)."""
+    with open(path, "w") as handle:
+        for u, i in zip(interactions.users, interactions.items):
+            handle.write(f"{u}\t{i}\t1\n")
+
+
+def save_kg_file(path: str, kg: KnowledgeGraph) -> None:
+    """Write triples in the artifact's KG format."""
+    with open(path, "w") as handle:
+        for h, r, t in kg.triples:
+            handle.write(f"{h}\t{r}\t{t}\n")

@@ -1,0 +1,282 @@
+"""Synthetic benchmark generator.
+
+The paper evaluates on Last-FM, Book-Crossing, MovieLens-20M and
+Dianping-food, none of which are available offline.  This module builds
+scaled-down stand-ins that preserve the *structural* properties the
+paper's analysis leans on:
+
+* a latent-topic interaction model — users hold Dirichlet topic
+  preferences, items hold topic profiles plus a popularity bias, and
+  observed interactions are drawn from the induced affinities (so
+  collaborative filtering has real signal to find);
+* a knowledge graph whose **informative relations** encode the same item
+  topics that drive interactions (attribute entities shared by items of a
+  topic cluster, plus a second hop of category entities for L ≥ 2
+  extraction) and whose **noise relations** attach random attribute
+  entities (the "Publish_Date" style knowledge the paper calls
+  uninformative);
+* per-dataset profiles mirroring Table II's relative shape: the
+  interaction density and the ``#KG triples / #items`` richness ratio
+  (4.03 / 10.12 / 29.46 / 117.86 in the paper, scaled here) that the
+  paper uses to explain where CG-KGR gains most;
+* a fraction of purely popularity-driven interactions, so the KG carries
+  information CF alone cannot recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+from repro.data.splits import split_interactions
+from repro.graph.interactions import InteractionGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class SyntheticProfile:
+    """Generator knobs for one benchmark stand-in."""
+
+    name: str
+    n_users: int
+    n_items: int
+    n_topics: int
+    interactions_per_user: float
+    triples_per_item: float
+    n_relations: int
+    informative_fraction: float = 0.5
+    attribute_values_per_relation: int = 6
+    noise_interaction_fraction: float = 0.1
+    affinity_temperature: float = 7.0
+    #: Dirichlet concentration of user preferences / item topic profiles.
+    #: Small values give sharply topical users and items, which is what
+    #: makes KG attributes predictive beyond CF co-occurrence.
+    user_concentration: float = 0.15
+    item_concentration: float = 0.12
+
+    def scaled(self, factor: float) -> "SyntheticProfile":
+        """Return a copy with user/item counts scaled by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            n_users=max(8, int(round(self.n_users * factor))),
+            n_items=max(8, int(round(self.n_items * factor))),
+        )
+
+
+#: Scaled-down stand-ins for the paper's four benchmarks (Table II).  The
+#: richness ratios keep the paper's ordering music < book < movie <
+#: restaurant; absolute sizes are laptop-scale.
+PROFILES: Dict[str, SyntheticProfile] = {
+    # Densities keep the paper's relative ordering (Book-Crossing is by far
+    # the sparsest; Dianping-food the densest) at catalogue sizes where a
+    # full-ranking evaluation stays laptop-fast.
+    "music": SyntheticProfile(
+        name="music",
+        n_users=120,
+        n_items=140,
+        n_topics=6,
+        interactions_per_user=9.0,
+        triples_per_item=4.0,
+        n_relations=10,
+        informative_fraction=0.5,
+    ),
+    "book": SyntheticProfile(
+        name="book",
+        n_users=150,
+        n_items=200,
+        n_topics=8,
+        interactions_per_user=6.0,
+        triples_per_item=10.0,
+        n_relations=9,
+        informative_fraction=0.45,
+    ),
+    "movie": SyntheticProfile(
+        name="movie",
+        n_users=140,
+        n_items=160,
+        n_topics=8,
+        interactions_per_user=16.0,
+        triples_per_item=16.0,
+        n_relations=12,
+        informative_fraction=0.5,
+    ),
+    "restaurant": SyntheticProfile(
+        name="restaurant",
+        n_users=160,
+        n_items=100,
+        n_topics=6,
+        interactions_per_user=14.0,
+        triples_per_item=32.0,
+        n_relations=7,
+        informative_fraction=0.5,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Interaction model
+# ----------------------------------------------------------------------
+def _latent_factors(profile: SyntheticProfile, rng: np.random.Generator):
+    """User preferences (Dirichlet) and item topic profiles + popularity."""
+    user_prefs = rng.dirichlet(
+        np.full(profile.n_topics, profile.user_concentration), size=profile.n_users
+    )
+    item_topics = rng.dirichlet(
+        np.full(profile.n_topics, profile.item_concentration), size=profile.n_items
+    )
+    popularity = rng.lognormal(mean=0.0, sigma=0.4, size=profile.n_items)
+    popularity = popularity / popularity.sum()
+    return user_prefs, item_topics, popularity
+
+
+def _sample_interactions(
+    profile: SyntheticProfile,
+    user_prefs: np.ndarray,
+    item_topics: np.ndarray,
+    popularity: np.ndarray,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int]]:
+    pairs: List[Tuple[int, int]] = []
+    affinity = user_prefs @ item_topics.T  # (users, items)
+    logits = profile.affinity_temperature * affinity + np.log(popularity)[None, :]
+    for user in range(profile.n_users):
+        count = int(np.clip(rng.poisson(profile.interactions_per_user), 3, profile.n_items - 1))
+        probs = np.exp(logits[user] - logits[user].max())
+        probs = probs / probs.sum()
+        if rng.random() < profile.noise_interaction_fraction:
+            # Purely popularity-driven user: their history carries no topic
+            # signal, so only the KG can explain their items' structure.
+            probs = popularity.copy()
+        chosen = rng.choice(profile.n_items, size=count, replace=False, p=probs)
+        pairs.extend((user, int(item)) for item in chosen)
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Knowledge-graph model
+# ----------------------------------------------------------------------
+def _build_kg(
+    profile: SyntheticProfile,
+    item_topics: np.ndarray,
+    rng: np.random.Generator,
+) -> KnowledgeGraph:
+    """Item-attribute triples with informative + noise relations, plus a
+    second hop of category entities above the attributes."""
+    n_items = profile.n_items
+    n_relations = profile.n_relations
+    n_informative = max(1, int(round(profile.informative_fraction * n_relations)))
+    values = profile.attribute_values_per_relation
+
+    # Attribute entity blocks: relation r owns ids
+    # [n_items + r*values, n_items + (r+1)*values).
+    attr_base = n_items
+    n_attrs = n_relations * values
+    # Category entities sit above attributes (one hop further out).
+    category_base = attr_base + n_attrs
+    n_categories = max(2, values // 2)
+    hierarchy_relation = n_relations  # extra relation linking attr -> category
+    n_entities = category_base + n_categories
+
+    # Random projections decide which attribute value an item takes for an
+    # informative relation; different relations see different mixes of the
+    # topic space, so multiple informative relations are complementary.
+    projections = rng.normal(size=(n_informative, profile.n_topics, values))
+
+    triples: List[Tuple[int, int, int]] = []
+    total_triples = int(round(profile.triples_per_item * n_items))
+    per_item = max(1, int(round(profile.triples_per_item)))
+    for item in range(n_items):
+        for k in range(per_item):
+            relation = int((item + k * 7 + rng.integers(0, n_relations)) % n_relations)
+            if relation < n_informative:
+                scores = item_topics[item] @ projections[relation]
+                # Soft assignment: mostly the argmax value, sometimes second.
+                value = int(np.argmax(scores))
+                if rng.random() < 0.15 and values > 1:
+                    value = int(rng.integers(0, values))
+            else:
+                value = int(rng.integers(0, values))
+            attr = attr_base + relation * values + value
+            triples.append((item, relation, attr))
+    # Trim or top up to the target triple count for a faithful richness ratio.
+    rng.shuffle(triples)
+    triples = triples[:total_triples]
+
+    # Attribute -> category hierarchy (gives L >= 2 extraction something
+    # informative to find: categories group attribute values).
+    for attr_offset in range(n_attrs):
+        category = category_base + (attr_offset % n_categories)
+        triples.append((attr_base + attr_offset, hierarchy_relation, category))
+
+    return KnowledgeGraph(
+        triples, n_entities=n_entities, n_relations=n_relations + 1
+    )
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def generate_dataset(
+    profile: SyntheticProfile, seed: int
+) -> Tuple[InteractionGraph, KnowledgeGraph, Dict[str, np.ndarray]]:
+    """Generate raw interactions + KG for a profile.
+
+    Returns the full (unsplit) interaction graph, the KG, and the latent
+    ground truth (``user_prefs``, ``item_topics``, ``popularity``) for
+    tests that verify the generator's statistical properties.
+    """
+    rng = np.random.default_rng(seed)
+    user_prefs, item_topics, popularity = _latent_factors(profile, rng)
+    pairs = _sample_interactions(profile, user_prefs, item_topics, popularity, rng)
+    interactions = InteractionGraph(pairs, profile.n_users, profile.n_items)
+    kg = _build_kg(profile, item_topics, rng)
+    latent = {
+        "user_prefs": user_prefs,
+        "item_topics": item_topics,
+        "popularity": popularity,
+    }
+    return interactions, kg, latent
+
+
+def generate_profile(
+    name: str,
+    seed: int = 0,
+    scale: float = 1.0,
+    split_seed: int | None = None,
+) -> RecDataset:
+    """Generate a named benchmark stand-in, split 6:2:2.
+
+    Parameters
+    ----------
+    name:
+        One of ``music``, ``book``, ``movie``, ``restaurant``.
+    seed:
+        Generation seed (world randomness).
+    scale:
+        Multiplier on user/item counts (benches use < 1 for speed).
+    split_seed:
+        Partition seed; defaults to ``seed`` (the paper re-partitions five
+        times under five seeds — pass different values here).
+    """
+    try:
+        profile = PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown profile {name!r}; choose from {sorted(PROFILES)}") from None
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    interactions, kg, _ = generate_dataset(profile, seed)
+    splits = split_interactions(
+        interactions, seed=seed if split_seed is None else split_seed
+    )
+    return RecDataset(
+        name=name,
+        n_users=profile.n_users,
+        n_items=profile.n_items,
+        kg=kg,
+        splits=splits,
+    )

@@ -1,0 +1,26 @@
+"""Evaluation: ranking metrics and Top-K protocol (Recall@K, NDCG@K),
+CTR metrics and protocol (AUC, F1), and Wilcoxon significance testing —
+the exact measurement stack behind Tables IV-XI and Figures 1/4/6.
+"""
+
+from repro.eval.ranking import (
+    evaluate_topk,
+    hit_ratio_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.eval.ctr import auc_score, evaluate_ctr, f1_score
+from repro.eval.significance import wilcoxon_improvement
+
+__all__ = [
+    "recall_at_k",
+    "ndcg_at_k",
+    "precision_at_k",
+    "hit_ratio_at_k",
+    "evaluate_topk",
+    "auc_score",
+    "f1_score",
+    "evaluate_ctr",
+    "wilcoxon_improvement",
+]

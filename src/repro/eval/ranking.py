@@ -1,0 +1,148 @@
+"""Top-K ranking metrics and evaluation protocol (Sec. IV-C).
+
+Per-user metrics over a ranked item list against the user's test
+positives; the protocol ranks the **full catalogue with training (and
+validation) positives masked**, averages over users that have at least
+one test positive, and reports Recall@K and NDCG@K (plus Precision@K and
+HitRatio@K for completeness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.graph.interactions import InteractionGraph
+
+
+def recall_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """|top-k ∩ relevant| / |relevant|."""
+    if not relevant:
+        raise ValueError("recall undefined for an empty relevant set")
+    hits = sum(1 for item in ranked[:k] if item in relevant)
+    return hits / len(relevant)
+
+
+def precision_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """|top-k ∩ relevant| / k."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    hits = sum(1 for item in ranked[:k] if item in relevant)
+    return hits / k
+
+
+def hit_ratio_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """1 if any relevant item appears in the top-k."""
+    return 1.0 if any(item in relevant for item in ranked[:k]) else 0.0
+
+
+def ndcg_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Binary-relevance NDCG with the ideal DCG as normalizer."""
+    if not relevant:
+        raise ValueError("ndcg undefined for an empty relevant set")
+    dcg = 0.0
+    for position, item in enumerate(ranked[:k]):
+        if item in relevant:
+            dcg += 1.0 / np.log2(position + 2.0)
+    ideal_hits = min(len(relevant), k)
+    idcg = sum(1.0 / np.log2(position + 2.0) for position in range(ideal_hits))
+    return dcg / idcg
+
+
+def rank_items(
+    scores: np.ndarray, masked_items: Optional[Set[int]] = None
+) -> np.ndarray:
+    """Descending-score item ranking with masked items pushed to the end."""
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    if masked_items:
+        scores[list(masked_items)] = -np.inf
+    return np.argsort(-scores, kind="stable")
+
+
+def evaluate_topk(
+    model: Recommender,
+    test: InteractionGraph,
+    k_values: Iterable[int] = (20,),
+    mask_splits: Optional[Sequence[InteractionGraph]] = None,
+    max_users: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Full-ranking Top-K evaluation.
+
+    Parameters
+    ----------
+    model:
+        Trained recommender.
+    test:
+        Held-out positives.
+    k_values:
+        Cutoffs; keys of the result are ``recall@K`` / ``ndcg@K`` /
+        ``precision@K`` / ``hit@K``.
+    mask_splits:
+        Interaction graphs whose positives are removed from the candidate
+        ranking (train, and optionally validation).  Defaults to the
+        model's training split.
+    max_users:
+        Optional cap on evaluated users (random subsample) for speed.
+    """
+    if mask_splits is None:
+        mask_splits = [model.dataset.train]
+    k_list = sorted(set(int(k) for k in k_values))
+    test_users = [
+        int(u) for u in np.unique(test.users) if test.items_of(int(u))
+    ]
+    if max_users is not None and len(test_users) > max_users:
+        rng = rng or np.random.default_rng(0)
+        chosen = rng.choice(len(test_users), size=max_users, replace=False)
+        test_users = [test_users[i] for i in chosen]
+
+    sums: Dict[str, float] = {
+        f"{metric}@{k}": 0.0
+        for metric in ("recall", "ndcg", "precision", "hit")
+        for k in k_list
+    }
+    for user in test_users:
+        relevant = set(test.items_of(user))
+        masked: Set[int] = set()
+        for split in mask_splits:
+            masked.update(split.items_of(user))
+        masked -= relevant  # never mask the ground truth itself
+        scores = model.score_all_items(user)
+        ranked = rank_items(scores, masked)
+        ranked_list = ranked.tolist()
+        for k in k_list:
+            sums[f"recall@{k}"] += recall_at_k(ranked_list, relevant, k)
+            sums[f"ndcg@{k}"] += ndcg_at_k(ranked_list, relevant, k)
+            sums[f"precision@{k}"] += precision_at_k(ranked_list, relevant, k)
+            sums[f"hit@{k}"] += hit_ratio_at_k(ranked_list, relevant, k)
+
+    n = max(1, len(test_users))
+    return {key: value / n for key, value in sums.items()}
+
+
+def mrr_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Mean reciprocal rank of the first relevant item within the top-k."""
+    if not relevant:
+        raise ValueError("mrr undefined for an empty relevant set")
+    for position, item in enumerate(ranked[:k]):
+        if item in relevant:
+            return 1.0 / (position + 1.0)
+    return 0.0
+
+
+def catalogue_coverage(
+    rankings: Sequence[Sequence[int]], n_items: int, k: int
+) -> float:
+    """Fraction of the catalogue appearing in at least one user's top-k.
+
+    A diversity diagnostic: popularity-biased models cover a thin slice
+    of the catalogue even when accuracy looks fine.
+    """
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    seen: Set[int] = set()
+    for ranking in rankings:
+        seen.update(int(i) for i in ranking[:k])
+    return len(seen) / n_items

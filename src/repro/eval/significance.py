@@ -1,0 +1,41 @@
+"""Statistical significance testing (Sec. IV-D).
+
+The paper runs Wilcoxon signed-rank tests between the best and
+second-best model over the 25 evaluation trials (5 partitions × 5 seeds)
+at a 95% confidence level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+from scipy import stats
+
+
+def wilcoxon_improvement(
+    candidate: Sequence[float],
+    reference: Sequence[float],
+    alpha: float = 0.05,
+) -> Dict[str, float]:
+    """One-sided Wilcoxon signed-rank test: is candidate > reference?
+
+    Returns the p-value and a ``significant`` flag at the given level.
+    Identical paired samples (all differences zero) are reported as not
+    significant with p = 1.
+    """
+    candidate = np.asarray(candidate, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if candidate.shape != reference.shape:
+        raise ValueError("paired samples must have equal length")
+    if len(candidate) < 2:
+        raise ValueError("need at least two paired trials")
+    differences = candidate - reference
+    if np.allclose(differences, 0.0):
+        return {"p_value": 1.0, "significant": False, "mean_improvement": 0.0}
+    result = stats.wilcoxon(candidate, reference, alternative="greater")
+    return {
+        "p_value": float(result.pvalue),
+        "significant": bool(result.pvalue < alpha),
+        "mean_improvement": float(differences.mean()),
+    }

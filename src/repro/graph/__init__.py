@@ -1,0 +1,24 @@
+"""Graph substrates: knowledge graph, interaction bipartite graph, unified
+graph (Sec. II of the paper), fixed-size neighbor sampling / node flows
+(Alg. 1), KG corruption (Fig. 6) and ripple-set construction (RippleNet,
+CKAN baselines).
+"""
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.interactions import InteractionGraph
+from repro.graph.unified import UnifiedGraph
+from repro.graph.sampling import NeighborSampler, NodeFlow, SampledNeighbors
+from repro.graph.corruption import corrupt_knowledge_graph
+from repro.graph.ripple import RippleSet, build_ripple_sets
+
+__all__ = [
+    "KnowledgeGraph",
+    "InteractionGraph",
+    "UnifiedGraph",
+    "NeighborSampler",
+    "NodeFlow",
+    "SampledNeighbors",
+    "corrupt_knowledge_graph",
+    "RippleSet",
+    "build_ripple_sets",
+]

@@ -1,0 +1,115 @@
+"""Ripple-set construction for the RippleNet and CKAN baselines.
+
+A *ripple set* of order ``l`` for a seed set of entities is the set of KG
+triples whose heads lie in the ``(l-1)``-th ripple's tails (RippleNet,
+Wang et al., CIKM 2018).  For users the seeds are their interacted items;
+CKAN additionally builds ripple sets for items (seeded by the item itself
+plus items co-interacted by its users).
+
+Sets are materialized as fixed-size padded arrays for batched training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.graph.interactions import InteractionGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+@dataclass
+class RippleSet:
+    """Per-seed multi-hop triple sets, fixed size per hop.
+
+    ``heads[l]``, ``relations[l]``, ``tails[l]`` have shape
+    ``(n_seeds, set_size)``; ``masks[l]`` flags real (non-padded) slots.
+    """
+
+    heads: List[np.ndarray]
+    relations: List[np.ndarray]
+    tails: List[np.ndarray]
+    masks: List[np.ndarray]
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.heads)
+
+
+def _expand_one_hop(
+    kg: KnowledgeGraph, seeds: Sequence[int], set_size: int, rng: np.random.Generator
+):
+    """Collect (h, r, t) with h in seeds (directed), sampled to set_size."""
+    triples: List[tuple] = []
+    for seed in seeds:
+        for rel, other in kg.neighbors(seed):
+            triples.append((seed, rel, other))
+    heads = np.zeros(set_size, dtype=np.int64)
+    rels = np.zeros(set_size, dtype=np.int64)
+    tails = np.zeros(set_size, dtype=np.int64)
+    mask = np.zeros(set_size, dtype=bool)
+    if not triples:
+        return heads, rels, tails, mask
+    n = len(triples)
+    replace = n < set_size
+    chosen = rng.choice(n, size=set_size, replace=replace)
+    for slot, k in enumerate(chosen):
+        heads[slot], rels[slot], tails[slot] = triples[k]
+        mask[slot] = True
+    return heads, rels, tails, mask
+
+
+def build_ripple_sets(
+    kg: KnowledgeGraph,
+    seed_sets: Dict[int, Sequence[int]],
+    n_hops: int,
+    set_size: int,
+    rng: np.random.Generator,
+    n_seeds_total: int,
+) -> RippleSet:
+    """Build fixed-size ripple sets for every id in ``0..n_seeds_total-1``.
+
+    ``seed_sets`` maps seed-id (e.g. user id) to its hop-0 entity seeds;
+    ids missing from the dict get empty (fully masked) sets.
+    """
+    if n_hops < 1:
+        raise ValueError("n_hops must be >= 1")
+    heads = [np.zeros((n_seeds_total, set_size), dtype=np.int64) for _ in range(n_hops)]
+    rels = [np.zeros((n_seeds_total, set_size), dtype=np.int64) for _ in range(n_hops)]
+    tails = [np.zeros((n_seeds_total, set_size), dtype=np.int64) for _ in range(n_hops)]
+    masks = [np.zeros((n_seeds_total, set_size), dtype=bool) for _ in range(n_hops)]
+
+    for seed_id in range(n_seeds_total):
+        frontier = list(seed_sets.get(seed_id, []))
+        for hop in range(n_hops):
+            h, r, t, m = _expand_one_hop(kg, frontier, set_size, rng)
+            heads[hop][seed_id] = h
+            rels[hop][seed_id] = r
+            tails[hop][seed_id] = t
+            masks[hop][seed_id] = m
+            valid_tails = t[m]
+            frontier = list(dict.fromkeys(valid_tails.tolist())) or frontier
+    return RippleSet(heads=heads, relations=rels, tails=tails, masks=masks)
+
+
+def user_seed_sets(interactions: InteractionGraph) -> Dict[int, List[int]]:
+    """RippleNet/CKAN user seeds: the user's interacted items."""
+    return {
+        u: interactions.items_of(u)
+        for u in range(interactions.n_users)
+        if interactions.items_of(u)
+    }
+
+
+def item_seed_sets(interactions: InteractionGraph) -> Dict[int, List[int]]:
+    """CKAN item seeds: the item plus items co-interacted by its users."""
+    seeds: Dict[int, List[int]] = {}
+    for item in range(interactions.n_items):
+        collected = [item]
+        for user in interactions.users_of(item):
+            collected.extend(interactions.items_of(user))
+        # Preserve order, drop duplicates, cap for tractability.
+        seeds[item] = list(dict.fromkeys(collected))[:16]
+    return seeds

@@ -1,0 +1,267 @@
+"""Fixed-size neighbor sampling and multi-hop node flows (Alg. 1).
+
+The paper's ``Sample_neighbor`` draws a fixed number of neighbors per node
+(with replacement when the true neighborhood is smaller) so that batched
+propagation has a rectangular shape.  Like the official KGCN-family
+implementations, we materialize padded *adjacency tables* once per sampler
+(``(n_nodes, K)`` arrays) and re-draw them on demand (per epoch) — node-flow
+construction is then pure numpy indexing, which keeps the engine fast.
+
+Nodes with no neighbors are padded with themselves and masked out; the
+attention layers use :func:`~repro.autograd.ops.masked_softmax`, so padded
+slots receive exactly zero weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.interactions import InteractionGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+@dataclass
+class SampledNeighbors:
+    """Fixed-size neighborhood of a batch of nodes.
+
+    Attributes
+    ----------
+    indices:
+        ``(batch, K)`` neighbor ids (padded entries hold the center node
+        or 0 and must be ignored via ``mask``).
+    relations:
+        ``(batch, K)`` relation ids, or ``None`` for bipartite neighborhoods
+        where the only relation is ``r*``.
+    mask:
+        ``(batch, K)`` booleans; False marks padding.
+    """
+
+    indices: np.ndarray
+    mask: np.ndarray
+    relations: Optional[np.ndarray] = None
+
+
+@dataclass
+class NodeFlow:
+    """Multi-hop KG sub-graph rooted at a batch of items (Alg. 1).
+
+    ``entities[0]`` has shape ``(batch, 1)`` and holds the root items;
+    ``entities[l]`` has shape ``(batch, K**l)``. ``relations[l]`` /
+    ``masks[l]`` (same shape, ``l >= 1``) give the relation connecting each
+    node to its parent ``entities[l-1][:, j // K]`` and its validity.
+    """
+
+    entities: List[np.ndarray] = field(default_factory=list)
+    relations: List[np.ndarray] = field(default_factory=list)
+    masks: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.entities) - 1
+
+
+def _build_table(
+    adjacency_of,
+    n_nodes: int,
+    size: int,
+    rng: np.random.Generator,
+    weight_of=None,
+):
+    """Sample a ``(n_nodes, size)`` neighbor table with replacement.
+
+    ``weight_of(relation, neighbor) -> float`` optionally biases the draw
+    (the paper's future-work "non-uniform sampler to screen out
+    representative neighbors"); ``None`` keeps the paper's uniform
+    sampling.
+    """
+    neighbor_table = np.zeros((n_nodes, size), dtype=np.int64)
+    relation_table = np.zeros((n_nodes, size), dtype=np.int64)
+    has_neighbors = np.zeros(n_nodes, dtype=bool)
+    for node in range(n_nodes):
+        neighbors = adjacency_of(node)
+        if not neighbors:
+            # Padding id 0 is always in range for the *target* id space
+            # (which may differ from the node's own space, e.g. an item's
+            # user-neighborhood); the mask guarantees it is never used.
+            continue
+        has_neighbors[node] = True
+        n = len(neighbors)
+        probabilities = None
+        if weight_of is not None:
+            raw = np.asarray([weight_of(rel, other) for rel, other in neighbors])
+            total = raw.sum()
+            if total > 0:
+                probabilities = raw / total
+        if n >= size:
+            chosen = rng.choice(n, size=size, replace=False, p=probabilities)
+        else:
+            chosen = rng.choice(n, size=size, replace=True, p=probabilities)
+        for slot, k in enumerate(chosen):
+            rel, other = neighbors[k]
+            neighbor_table[node, slot] = other
+            relation_table[node, slot] = rel
+    return neighbor_table, relation_table, has_neighbors
+
+
+class NeighborSampler:
+    """Samples ``S(u)``, ``S_UI(i)`` and KG node flows for CG-KGR.
+
+    Parameters
+    ----------
+    kg:
+        Knowledge graph (items aligned to entities ``0..n_items-1``).
+    interactions:
+        *Training* interactions only — evaluation pairs must never leak
+        into the sampled neighborhoods.
+    user_sample_size, item_sample_size, kg_sample_size:
+        ``|S(u)|``, ``|S_UI(i)|`` and ``|S_KG(e)|`` of Table III.
+    rng:
+        Source of sampling randomness.
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        interactions: InteractionGraph,
+        user_sample_size: int,
+        item_sample_size: int,
+        kg_sample_size: int,
+        rng: np.random.Generator,
+        kg_strategy: str = "uniform",
+    ):
+        if min(user_sample_size, item_sample_size, kg_sample_size) < 1:
+            raise ValueError("sample sizes must be >= 1")
+        if kg_strategy not in ("uniform", "degree"):
+            raise ValueError(f"unknown kg sampling strategy {kg_strategy!r}")
+        self.kg = kg
+        self.interactions = interactions
+        self.user_sample_size = int(user_sample_size)
+        self.item_sample_size = int(item_sample_size)
+        self.kg_sample_size = int(kg_sample_size)
+        self.kg_strategy = kg_strategy
+        self._rng = rng
+        self.resample()
+
+    # ------------------------------------------------------------------
+    def resample(self) -> None:
+        """Redraw all adjacency tables (call once per epoch for fresh
+        fixed-size random samples, matching the paper's per-iteration
+        ``Sample_neighbor``)."""
+        inter = self.interactions
+        self._user_items, _, self._user_has = _build_table(
+            lambda u: [(0, i) for i in inter.items_of(u)],
+            inter.n_users,
+            self.user_sample_size,
+            self._rng,
+        )
+        self._item_users, _, self._item_has = _build_table(
+            lambda i: [(0, u) for u in inter.users_of(i)],
+            inter.n_items,
+            self.item_sample_size,
+            self._rng,
+        )
+        weight_of = None
+        if self.kg_strategy == "degree":
+            # Future-work extension (Sec. VI): bias toward well-connected
+            # neighbors, which tend to be the representative ones.
+            weight_of = lambda rel, other: float(self.kg.degree(other))
+        self._kg_neighbors, self._kg_relations, self._kg_has = _build_table(
+            self.kg.neighbors,
+            self.kg.n_entities,
+            self.kg_sample_size,
+            self._rng,
+            weight_of=weight_of,
+        )
+
+    # ------------------------------------------------------------------
+    def user_neighborhood(self, users: Sequence[int]) -> SampledNeighbors:
+        """``S(u)`` for a batch of users: their interacted items."""
+        u = np.asarray(users, dtype=np.int64)
+        indices = self._user_items[u]
+        mask = np.repeat(self._user_has[u][:, None], self.user_sample_size, axis=1)
+        return SampledNeighbors(indices=indices, mask=mask)
+
+    def item_neighborhood(self, items: Sequence[int]) -> SampledNeighbors:
+        """``S_UI(i)`` for a batch of items: their interacting users."""
+        i = np.asarray(items, dtype=np.int64)
+        indices = self._item_users[i]
+        mask = np.repeat(self._item_has[i][:, None], self.item_sample_size, axis=1)
+        return SampledNeighbors(indices=indices, mask=mask)
+
+    def kg_node_flow(
+        self,
+        items: Sequence[int],
+        depth: int,
+        no_traverse_back: bool = True,
+    ) -> NodeFlow:
+        """Multi-hop KG exploration rooted at ``items`` (Alg. 1 lines 18-23).
+
+        With ``no_traverse_back`` (Sec. IV-H3) a sampled child equal to its
+        grandparent is swapped for the next slot in the adjacency table
+        when the parent has other neighbors.
+        """
+        roots = np.asarray(items, dtype=np.int64).reshape(-1, 1)
+        flow = NodeFlow(entities=[roots], relations=[None], masks=[np.ones_like(roots, dtype=bool)])
+        k = self.kg_sample_size
+        for level in range(1, depth + 1):
+            parents = flow.entities[level - 1]  # (B, k**(level-1))
+            batch, width = parents.shape
+            children = self._kg_neighbors[parents].reshape(batch, width * k)
+            relations = self._kg_relations[parents].reshape(batch, width * k)
+            parent_mask = flow.masks[level - 1]
+            mask = (
+                np.repeat(parent_mask, k, axis=1)
+                & np.repeat(self._kg_has[parents], k, axis=1)
+            )
+            if no_traverse_back and level >= 2:
+                grandparents = np.repeat(
+                    flow.entities[level - 2], k * k, axis=1
+                )
+                collision = children == grandparents
+                if collision.any():
+                    slot = np.tile(np.arange(width * k) % k, (batch, 1))
+                    alt_slot = (slot + 1) % k
+                    parent_idx = np.repeat(parents, k, axis=1)
+                    alternates = self._kg_neighbors[parent_idx, alt_slot]
+                    usable = alternates != grandparents
+                    swap = collision & usable
+                    children = np.where(swap, alternates, children)
+                    relations = np.where(
+                        swap, self._kg_relations[parent_idx, alt_slot], relations
+                    )
+            flow.entities.append(children)
+            flow.relations.append(relations)
+            flow.masks.append(mask)
+        return flow
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Snapshot of the current adjacency tables.
+
+        Model training resamples tables every epoch; early stopping must
+        restore the tables that produced the best validation score along
+        with the weights, otherwise evaluation runs best-epoch weights on
+        last-epoch neighborhoods.
+        """
+        return {
+            "user_items": self._user_items.copy(),
+            "user_has": self._user_has.copy(),
+            "item_users": self._item_users.copy(),
+            "item_has": self._item_has.copy(),
+            "kg_neighbors": self._kg_neighbors.copy(),
+            "kg_relations": self._kg_relations.copy(),
+            "kg_has": self._kg_has.copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore tables captured by :meth:`state`."""
+        self._user_items = state["user_items"].copy()
+        self._user_has = state["user_has"].copy()
+        self._item_users = state["item_users"].copy()
+        self._item_has = state["item_has"].copy()
+        self._kg_neighbors = state["kg_neighbors"].copy()
+        self._kg_relations = state["kg_relations"].copy()
+        self._kg_has = state["kg_has"].copy()

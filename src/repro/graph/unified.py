@@ -1,0 +1,64 @@
+"""Unified graph ``G = (E', R')`` of Sec. II.
+
+Combines the KG and the interaction bipartite graph into one id space:
+entity nodes keep their ids ``0..n_entities-1`` (items are the first
+``n_items`` of them) and users are appended at
+``n_entities..n_entities+n_users-1``.  The generalized interaction relation
+``r*`` is appended after the KG relations.  KGAT trains on this structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graph.interactions import InteractionGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+class UnifiedGraph:
+    """KG triples plus interaction triples ``(user, r*, item)``."""
+
+    def __init__(self, kg: KnowledgeGraph, interactions: InteractionGraph):
+        self.kg = kg
+        self.interactions = interactions
+        self.n_entities = kg.n_entities
+        self.n_users = interactions.n_users
+        self.n_items = interactions.n_items
+        if self.n_items > self.n_entities:
+            raise ValueError("items must be aligned to entities (I ⊆ E)")
+        self.n_nodes = self.n_entities + self.n_users
+        self.interaction_relation = kg.n_relations  # id of r*
+        self.n_relations = kg.n_relations + 1
+
+    def user_node(self, user: int) -> int:
+        """Unified node id of a user."""
+        return self.n_entities + int(user)
+
+    def all_triples(self) -> np.ndarray:
+        """All edges as ``(head, relation, tail)`` in the unified id space.
+
+        Interaction edges appear once per direction is *not* done here —
+        the adjacency construction below symmetrizes instead.
+        """
+        rows: List[Tuple[int, int, int]] = [tuple(t) for t in self.kg.triples]
+        r_star = self.interaction_relation
+        for u, i in zip(self.interactions.users, self.interactions.items):
+            rows.append((self.user_node(u), r_star, int(i)))
+        return np.asarray(rows, dtype=np.int64) if rows else np.empty((0, 3), dtype=np.int64)
+
+    def adjacency(self) -> List[List[Tuple[int, int]]]:
+        """Bidirectional adjacency ``node -> [(relation, neighbor), ...]``."""
+        adj: List[List[Tuple[int, int]]] = [[] for _ in range(self.n_nodes)]
+        for h, r, t in self.all_triples():
+            adj[int(h)].append((int(r), int(t)))
+            adj[int(t)].append((int(r), int(h)))
+        return adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"UnifiedGraph(nodes={self.n_nodes}, relations={self.n_relations}, "
+            f"kg_triples={self.kg.n_triples}, "
+            f"interactions={self.interactions.n_interactions})"
+        )

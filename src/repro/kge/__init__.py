@@ -1,0 +1,23 @@
+"""Knowledge-graph embedding substrate.
+
+The paper's regularization-based baselines (CKE, KGAT) embed KG triples
+with translational models; this subpackage provides that machinery as a
+standalone, reusable component:
+
+* :mod:`repro.kge.scorers` — TransE, TransR and DistMult plausibility
+  scorers on the autograd engine;
+* :class:`repro.kge.model.KGEModel` — negative-sampling training loop and
+  link-prediction evaluation (MRR, Hits@k).
+"""
+
+from repro.kge.scorers import DistMult, TransE, TransR, make_scorer
+from repro.kge.model import KGEModel, LinkPredictionReport
+
+__all__ = [
+    "TransE",
+    "TransR",
+    "DistMult",
+    "make_scorer",
+    "KGEModel",
+    "LinkPredictionReport",
+]

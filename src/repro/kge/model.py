@@ -1,0 +1,129 @@
+"""KG embedding model: training and link-prediction evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd import no_grad, ops
+from repro.autograd.nn import Embedding
+from repro.autograd.optim import Adam
+from repro.autograd.tensor import Tensor
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.kge.scorers import Scorer, make_scorer
+
+
+@dataclass
+class LinkPredictionReport:
+    """Filtered tail-prediction metrics."""
+
+    mrr: float
+    hits_at_1: float
+    hits_at_3: float
+    hits_at_10: float
+    n_queries: int
+
+
+class KGEModel:
+    """Entity embeddings + a pluggable scorer, trained with corrupted
+    negatives and the BPR criterion (prefer true over corrupted triples).
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        dim: int = 16,
+        scorer: str = "transe",
+        lr: float = 1e-2,
+        l2: float = 1e-5,
+        seed: int = 0,
+    ):
+        self.kg = kg
+        self.dim = dim
+        self.rng = np.random.default_rng(seed)
+        self.entity_embedding = Embedding(kg.n_entities, dim, self.rng)
+        self.scorer: Scorer = make_scorer(scorer, kg.n_relations, dim, self.rng)
+        params = self.entity_embedding.parameters() + self.scorer.parameters()
+        self.optimizer = Adam(params, lr=lr, weight_decay=l2)
+
+    # ------------------------------------------------------------------
+    def score_triples(self, heads, relations, tails) -> Tensor:
+        h = self.entity_embedding(np.asarray(heads))
+        t = self.entity_embedding(np.asarray(tails))
+        return self.scorer(h, np.asarray(relations), t)
+
+    def loss(self, batch: np.ndarray) -> Tensor:
+        """BPR over true vs tail-corrupted triples."""
+        corrupt = self.rng.integers(0, self.kg.n_entities, size=len(batch))
+        pos = self.score_triples(batch[:, 0], batch[:, 1], batch[:, 2])
+        neg = self.score_triples(batch[:, 0], batch[:, 1], corrupt)
+        return ops.neg(ops.mean(ops.log_sigmoid(ops.sub(pos, neg))))
+
+    def fit(self, epochs: int = 20, batch_size: int = 256, verbose: bool = False) -> List[float]:
+        """Train on all KG triples; returns per-epoch mean losses."""
+        triples = self.kg.triples
+        if len(triples) == 0:
+            raise ValueError("cannot fit a KGE model on an empty graph")
+        history: List[float] = []
+        for epoch in range(epochs):
+            order = self.rng.permutation(len(triples))
+            total, batches = 0.0, 0
+            for start in range(0, len(triples), batch_size):
+                batch = triples[order[start : start + batch_size]]
+                loss = self.loss(batch)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                total += loss.item()
+                batches += 1
+            history.append(total / max(1, batches))
+            if verbose:
+                print(f"[kge] epoch {epoch + 1}: loss {history[-1]:.4f}")
+        return history
+
+    # ------------------------------------------------------------------
+    def predict_tail_scores(self, head: int, relation: int) -> np.ndarray:
+        """Scores of every entity as the tail of ``(head, relation, ?)``."""
+        n = self.kg.n_entities
+        with no_grad():
+            scores = self.score_triples(
+                np.full(n, head, dtype=np.int64),
+                np.full(n, relation, dtype=np.int64),
+                np.arange(n, dtype=np.int64),
+            )
+        return scores.numpy()
+
+    def evaluate_link_prediction(
+        self, triples: Optional[np.ndarray] = None, max_queries: int = 200
+    ) -> LinkPredictionReport:
+        """Filtered tail prediction on (a sample of) the KG's triples."""
+        triples = self.kg.triples if triples is None else np.asarray(triples)
+        if len(triples) == 0:
+            raise ValueError("no triples to evaluate")
+        if len(triples) > max_queries:
+            idx = self.rng.choice(len(triples), size=max_queries, replace=False)
+            triples = triples[idx]
+        known: Dict[tuple, set] = {}
+        for h, r, t in self.kg.triples:
+            known.setdefault((int(h), int(r)), set()).add(int(t))
+
+        ranks: List[int] = []
+        for h, r, t in triples:
+            scores = self.predict_tail_scores(int(h), int(r))
+            # Filtered protocol: mask all *other* known true tails.
+            others = known.get((int(h), int(r)), set()) - {int(t)}
+            if others:
+                scores = scores.copy()
+                scores[list(others)] = -np.inf
+            rank = int((scores > scores[int(t)]).sum()) + 1
+            ranks.append(rank)
+        ranks_arr = np.asarray(ranks, dtype=np.float64)
+        return LinkPredictionReport(
+            mrr=float((1.0 / ranks_arr).mean()),
+            hits_at_1=float((ranks_arr <= 1).mean()),
+            hits_at_3=float((ranks_arr <= 3).mean()),
+            hits_at_10=float((ranks_arr <= 10).mean()),
+            n_queries=len(ranks),
+        )

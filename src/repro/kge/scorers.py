@@ -1,0 +1,87 @@
+"""Triple plausibility scorers.
+
+Each scorer owns its relation parameters and maps batches of
+``(head_vec, relation_id, tail_vec)`` to a plausibility score (higher =
+more plausible).  Entity embeddings are owned by the
+:class:`~repro.kge.model.KGEModel` so scorers can be swapped.
+
+* **TransE** (Bordes et al. 2013): ``-‖h + r - t‖²``;
+* **TransR** (Lin et al. 2015): ``-‖M_r h + r - M_r t‖²`` — the scorer
+  used inside CKE and KGAT;
+* **DistMult** (Yang et al. 2015): ``Σ h ⊙ r ⊙ t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import init, ops
+from repro.autograd.nn import Embedding, Module, Parameter
+from repro.autograd.tensor import Tensor
+
+
+class Scorer(Module):
+    """Base: relation-parameterized triple scoring."""
+
+    def __init__(self, n_relations: int, dim: int, rng: np.random.Generator):
+        self.n_relations = n_relations
+        self.dim = dim
+
+    def forward(self, heads: Tensor, relations: np.ndarray, tails: Tensor) -> Tensor:
+        raise NotImplementedError
+
+
+class TransE(Scorer):
+    """``-‖h + r - t‖²``."""
+
+    def __init__(self, n_relations: int, dim: int, rng: np.random.Generator):
+        super().__init__(n_relations, dim, rng)
+        self.relation_embedding = Embedding(n_relations, dim, rng)
+
+    def forward(self, heads: Tensor, relations: np.ndarray, tails: Tensor) -> Tensor:
+        r = self.relation_embedding(relations)
+        diff = ops.sub(ops.add(heads, r), tails)
+        return ops.neg(ops.sum(ops.mul(diff, diff), axis=-1))
+
+
+class TransR(Scorer):
+    """``-‖M_r h + r - M_r t‖²`` with a per-relation projection."""
+
+    def __init__(self, n_relations: int, dim: int, rng: np.random.Generator):
+        super().__init__(n_relations, dim, rng)
+        self.relation_embedding = Embedding(n_relations, dim, rng)
+        self.projections = Parameter(
+            init.xavier_uniform((n_relations, dim, dim), rng)
+        )
+
+    def forward(self, heads: Tensor, relations: np.ndarray, tails: Tensor) -> Tensor:
+        r = self.relation_embedding(relations)
+        proj = ops.index_select(self.projections, np.asarray(relations))
+        h_proj = ops.einsum("bpq,bq->bp", proj, heads)
+        t_proj = ops.einsum("bpq,bq->bp", proj, tails)
+        diff = ops.sub(ops.add(h_proj, r), t_proj)
+        return ops.neg(ops.sum(ops.mul(diff, diff), axis=-1))
+
+
+class DistMult(Scorer):
+    """``Σ h ⊙ r ⊙ t`` (bilinear diagonal)."""
+
+    def __init__(self, n_relations: int, dim: int, rng: np.random.Generator):
+        super().__init__(n_relations, dim, rng)
+        self.relation_embedding = Embedding(n_relations, dim, rng)
+
+    def forward(self, heads: Tensor, relations: np.ndarray, tails: Tensor) -> Tensor:
+        r = self.relation_embedding(relations)
+        return ops.sum(ops.mul(ops.mul(heads, r), tails), axis=-1)
+
+
+_SCORERS = {"transe": TransE, "transr": TransR, "distmult": DistMult}
+
+
+def make_scorer(name: str, n_relations: int, dim: int, rng: np.random.Generator) -> Scorer:
+    """Factory over the implemented KGE scorers."""
+    try:
+        cls = _SCORERS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown scorer {name!r}; choose from {sorted(_SCORERS)}") from None
+    return cls(n_relations, dim, rng)

@@ -1,0 +1,180 @@
+"""Multi-seed experiment runner.
+
+The paper's protocol (Sec. IV-C): five data partitions × five training
+seeds, mean ± std over the 25 trials, and a Wilcoxon signed-rank test
+between the best and second-best model.  ``run_comparison`` reproduces
+that protocol at a configurable trial count: trial ``t`` regenerates the
+dataset (new world + partition) and retrains every model under seed ``t``
+so the per-trial metrics are *paired* across models, which is what the
+signed-rank test requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.data.dataset import RecDataset
+from repro.data.synthetic import generate_profile
+from repro.eval.ctr import evaluate_ctr
+from repro.eval.ranking import evaluate_topk
+from repro.eval.significance import wilcoxon_improvement
+from repro.training.trainer import Trainer, TrainerConfig
+
+ModelFactory = Callable[[RecDataset, int], Recommender]
+DatasetFactory = Callable[[int], RecDataset]
+
+
+@dataclass
+class TrialRecord:
+    """One (model, seed) training + evaluation outcome."""
+
+    model: str
+    seed: int
+    metrics: Dict[str, float]
+    time_per_epoch: float
+    best_epoch: int
+    total_time: float
+
+
+@dataclass
+class ComparisonResult:
+    """All trials of a model comparison on one dataset."""
+
+    dataset: str
+    trials: List[TrialRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def models(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for trial in self.trials:
+            seen.setdefault(trial.model, None)
+        return list(seen)
+
+    def values(self, model: str, metric: str) -> np.ndarray:
+        vals = [t.metrics[metric] for t in self.trials if t.model == model]
+        if not vals:
+            raise KeyError(f"no trials for model {model!r} / metric {metric!r}")
+        return np.asarray(vals, dtype=np.float64)
+
+    def mean(self, model: str, metric: str) -> float:
+        return float(self.values(model, metric).mean())
+
+    def std(self, model: str, metric: str) -> float:
+        return float(self.values(model, metric).std())
+
+    def timing(self, model: str) -> Tuple[float, float]:
+        """(mean time/epoch, mean best-epoch) — Table VI's columns."""
+        per_epoch = [t.time_per_epoch for t in self.trials if t.model == model]
+        best = [t.best_epoch for t in self.trials if t.model == model]
+        return float(np.mean(per_epoch)), float(np.mean(best))
+
+    def ranking(self, metric: str) -> List[Tuple[str, float]]:
+        """Models sorted by mean metric, best first."""
+        pairs = [(m, self.mean(m, metric)) for m in self.models()]
+        return sorted(pairs, key=lambda p: -p[1])
+
+    def best_and_second(self, metric: str) -> Tuple[str, str]:
+        ranked = self.ranking(metric)
+        if len(ranked) < 2:
+            raise ValueError("need at least two models to compare")
+        return ranked[0][0], ranked[1][0]
+
+    def significance(self, metric: str, alpha: float = 0.05) -> Dict[str, float]:
+        """Wilcoxon test of best vs second-best (paired by seed).
+
+        With fewer than two trials per model (smoke runs) the test is
+        skipped and reported as not significant with p = NaN.
+        """
+        best, second = self.best_and_second(metric)
+        best_vals = self.values(best, metric)
+        second_vals = self.values(second, metric)
+        if len(best_vals) < 2:
+            report: Dict[str, float] = {
+                "p_value": float("nan"),
+                "significant": False,
+                "mean_improvement": float(best_vals.mean() - second_vals.mean()),
+            }
+        else:
+            report = wilcoxon_improvement(best_vals, second_vals, alpha)
+        report = dict(report)
+        report["best"] = best
+        report["second"] = second
+        gain = self.mean(best, metric) / max(1e-12, self.mean(second, metric)) - 1.0
+        report["gain_pct"] = 100.0 * gain
+        return report
+
+
+def run_single(
+    model: Recommender,
+    trainer_config: Optional[TrainerConfig] = None,
+    topk_values: Iterable[int] = (20,),
+    eval_ctr_too: bool = True,
+    max_eval_users: Optional[int] = 100,
+) -> TrialRecord:
+    """Train one model and evaluate Top-K (+ optionally CTR) on test."""
+    trainer = Trainer(model, trainer_config)
+    fit = trainer.fit()
+    metrics = evaluate_topk(
+        model,
+        model.dataset.test,
+        k_values=topk_values,
+        mask_splits=[model.dataset.train, model.dataset.valid],
+        max_users=max_eval_users,
+        rng=np.random.default_rng(model.seed),
+    )
+    if eval_ctr_too:
+        metrics.update(
+            evaluate_ctr(model, model.dataset.test, negative_seed=model.seed)
+        )
+    return TrialRecord(
+        model=model.name,
+        seed=model.seed,
+        metrics=metrics,
+        time_per_epoch=fit.time_per_epoch,
+        best_epoch=fit.best_epoch,
+        total_time=fit.total_time,
+    )
+
+
+def run_comparison(
+    dataset_name: str,
+    model_factories: Dict[str, ModelFactory],
+    seeds: Sequence[int],
+    trainer_config: Optional[TrainerConfig] = None,
+    topk_values: Iterable[int] = (20,),
+    eval_ctr_too: bool = True,
+    max_eval_users: Optional[int] = 100,
+    dataset_factory: Optional[DatasetFactory] = None,
+    scale: float = 1.0,
+) -> ComparisonResult:
+    """The paper's multi-trial protocol for a set of models on one dataset.
+
+    Each seed regenerates/repartitions the dataset and retrains every
+    model, producing *paired* trials suitable for the Wilcoxon test.
+    """
+    result = ComparisonResult(dataset=dataset_name)
+    make_dataset = dataset_factory or (
+        lambda seed: generate_profile(dataset_name, seed=seed, scale=scale)
+    )
+    for seed in seeds:
+        dataset = make_dataset(seed)
+        for name, factory in model_factories.items():
+            model = factory(dataset, seed)
+            model.name = name
+            cfg = trainer_config
+            if cfg is not None:
+                cfg = TrainerConfig(**{**cfg.__dict__, "seed": seed})
+            record = run_single(
+                model,
+                trainer_config=cfg,
+                topk_values=topk_values,
+                eval_ctr_too=eval_ctr_too,
+                max_eval_users=max_eval_users,
+            )
+            record.model = name
+            result.trials.append(record)
+    return result

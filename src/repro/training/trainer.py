@@ -1,0 +1,186 @@
+"""Mini-batch trainer shared by CG-KGR and every baseline.
+
+Implements the paper's optimization protocol (Sec. III-C / IV-C):
+
+* Adam with the model's learning rate and Xavier-initialized weights;
+* balanced negative sampling refreshed every epoch (``|Y⁺| = |Y⁻|``,
+  "updated on the fly");
+* L2 regularization ``λ‖Θ‖²`` applied as optimizer weight decay;
+* early stopping when the validation metric is non-increasing for
+  ``patience`` consecutive epochs (the paper uses 10), restoring the best
+  snapshot;
+* per-epoch wall-clock timing (Table VI's ``t̄``) and the epoch index of
+  the best metric (``b̄e``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.optim import Adam
+from repro.baselines.base import Recommender
+from repro.data.negative_sampling import sample_training_negatives
+from repro.eval.ctr import evaluate_ctr
+from repro.eval.ranking import evaluate_topk
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs of the training loop."""
+
+    epochs: int = 20
+    early_stop_patience: int = 10
+    eval_every: int = 1
+    #: "topk", "ctr", or "none" (train for a fixed epoch budget).
+    eval_task: str = "topk"
+    eval_metric: str = "recall@20"
+    eval_k: int = 20
+    #: Cap on evaluated validation users per epoch (speed).
+    eval_max_users: Optional[int] = 80
+    shuffle: bool = True
+    verbose: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.eval_task not in ("topk", "ctr", "none"):
+            raise ValueError(f"unknown eval task {self.eval_task!r}")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    history: List[Dict[str, float]] = field(default_factory=list)
+    best_epoch: int = 0
+    best_metric: float = float("-inf")
+    time_per_epoch: float = 0.0
+    total_time: float = 0.0
+    stopped_early: bool = False
+
+
+class Trainer:
+    """Trains one :class:`Recommender` on its dataset's train split."""
+
+    def __init__(self, model: Recommender, config: Optional[TrainerConfig] = None):
+        self.model = model
+        self.config = config or TrainerConfig()
+        self.optimizer = Adam(
+            model.parameters(), lr=model.lr, weight_decay=model.l2
+        )
+        self._neg_rng = np.random.default_rng(self.config.seed + 7919)
+        self._all_positives = model.dataset.all_positive_items()
+
+    # ------------------------------------------------------------------
+    def train_epoch(self, epoch: int) -> float:
+        """One pass over the training positives; returns the mean loss."""
+        model = self.model
+        cfg = self.config
+        model.begin_epoch(epoch)
+        train = model.dataset.train
+        users = train.users
+        pos_items = train.items
+        neg_items = sample_training_negatives(
+            train, self._all_positives, model.dataset.n_items, self._neg_rng
+        )
+        order = (
+            np.random.default_rng(cfg.seed + epoch).permutation(len(users))
+            if cfg.shuffle
+            else np.arange(len(users))
+        )
+        total_loss = 0.0
+        n_batches = 0
+        batch_size = model.batch_size
+        for start in range(0, len(users), batch_size):
+            batch = order[start : start + batch_size]
+            loss = model.loss(users[batch], pos_items[batch], neg_items[batch])
+            loss_value = loss.item()
+            if not np.isfinite(loss_value):
+                raise RuntimeError(
+                    f"{model.name}: non-finite loss ({loss_value}) at epoch "
+                    f"{epoch}, batch starting {start} — check learning rate "
+                    "and initialization"
+                )
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            total_loss += loss_value
+            n_batches += 1
+        return total_loss / max(1, n_batches)
+
+    def evaluate(self) -> Dict[str, float]:
+        """Validation metrics per the configured task."""
+        cfg = self.config
+        model = self.model
+        if cfg.eval_task == "topk":
+            return evaluate_topk(
+                model,
+                model.dataset.valid,
+                k_values=(cfg.eval_k,),
+                mask_splits=[model.dataset.train],
+                max_users=cfg.eval_max_users,
+                rng=np.random.default_rng(cfg.seed),
+            )
+        if cfg.eval_task == "ctr":
+            return evaluate_ctr(model, model.dataset.valid, negative_seed=cfg.seed)
+        return {}
+
+    # ------------------------------------------------------------------
+    def fit(self) -> TrainResult:
+        """Run the full loop with early stopping and best-state restore."""
+        cfg = self.config
+        result = TrainResult()
+        best_state = None
+        best_extra = None
+        epochs_since_best = 0
+        start_time = time.perf_counter()
+        epoch_times: List[float] = []
+
+        for epoch in range(1, cfg.epochs + 1):
+            tick = time.perf_counter()
+            mean_loss = self.train_epoch(epoch)
+            epoch_times.append(time.perf_counter() - tick)
+
+            record: Dict[str, float] = {"epoch": epoch, "loss": mean_loss}
+            if cfg.eval_task != "none" and epoch % cfg.eval_every == 0:
+                metrics = self.evaluate()
+                record.update(metrics)
+                metric = metrics.get(cfg.eval_metric)
+                if metric is None:
+                    available = sorted(metrics)
+                    raise KeyError(
+                        f"eval metric {cfg.eval_metric!r} not produced; "
+                        f"available: {available}"
+                    )
+                if metric > result.best_metric:
+                    result.best_metric = metric
+                    result.best_epoch = epoch
+                    best_state = self.model.state_dict()
+                    best_extra = self.model.extra_state()
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+            result.history.append(record)
+            if cfg.verbose:
+                print(f"[{self.model.name}] " + ", ".join(f"{k}={v:.4f}" for k, v in record.items()))
+            if (
+                cfg.eval_task != "none"
+                and epochs_since_best >= cfg.early_stop_patience
+            ):
+                result.stopped_early = True
+                break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+            if best_extra is not None:
+                self.model.load_extra_state(best_extra)
+        if cfg.eval_task == "none":
+            result.best_epoch = cfg.epochs
+        result.total_time = time.perf_counter() - start_time
+        result.time_per_epoch = float(np.mean(epoch_times)) if epoch_times else 0.0
+        return result

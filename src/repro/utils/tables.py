@@ -1,0 +1,50 @@
+"""ASCII rendering of result tables and metric series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and diff-friendly (EXPERIMENTS.md
+embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+
+    def render_row(row: List[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(cells[0]))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render named series over shared x values (a textual 'figure')."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x] + [
+            f"{series[name][i]:.{precision}f}" if series[name][i] == series[name][i] else "-"
+            for name in series
+        ]
+        rows.append(row)
+    return format_table(headers, rows, title=title)

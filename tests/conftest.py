@@ -1,0 +1,74 @@
+"""Shared fixtures: a tiny deterministic dataset so model tests stay fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DatasetSplits, RecDataset
+from repro.data.splits import split_interactions
+from repro.data.synthetic import SyntheticProfile, generate_dataset
+from repro.graph.interactions import InteractionGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+TINY_PROFILE = SyntheticProfile(
+    name="tiny",
+    n_users=30,
+    n_items=20,
+    n_topics=4,
+    interactions_per_user=6.0,
+    triples_per_item=4.0,
+    n_relations=5,
+    informative_fraction=0.5,
+    attribute_values_per_relation=4,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> RecDataset:
+    """A 30-user/20-item synthetic benchmark, split 6:2:2."""
+    interactions, kg, _ = generate_dataset(TINY_PROFILE, seed=7)
+    splits = split_interactions(interactions, seed=7)
+    return RecDataset(
+        name="tiny",
+        n_users=TINY_PROFILE.n_users,
+        n_items=TINY_PROFILE.n_items,
+        kg=kg,
+        splits=splits,
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_dataset() -> RecDataset:
+    """A hand-built 4-user/4-item dataset with a 2-relation KG, for tests
+    that need to reason about exact graph structure."""
+    interactions = InteractionGraph(
+        [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 0)],
+        n_users=4,
+        n_items=4,
+    )
+    kg = KnowledgeGraph(
+        [
+            (0, 0, 4),  # item 0 --rel0--> attr 4
+            (1, 0, 4),
+            (2, 0, 5),
+            (3, 0, 5),
+            (0, 1, 6),
+            (2, 1, 6),
+            (4, 1, 7),  # attr 4 --rel1--> category 7
+            (5, 1, 7),
+        ],
+        n_entities=8,
+        n_relations=2,
+    )
+    splits = DatasetSplits(
+        train=interactions,
+        valid=InteractionGraph([(0, 2)], n_users=4, n_items=4),
+        test=InteractionGraph([(1, 3), (2, 0)], n_users=4, n_items=4),
+    )
+    return RecDataset(name="micro", n_users=4, n_items=4, kg=kg, splits=splits)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,240 @@
+"""Numerical gradient checks for every primitive and key composites.
+
+These are the correctness backstop for the whole engine: if they pass,
+the model code above can trust its gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import ops
+
+
+def t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestBinaryGradients:
+    def test_add(self, rng):
+        assert gradcheck(ops.add, [t(rng, 3, 4), t(rng, 3, 4)])
+
+    def test_add_broadcast(self, rng):
+        assert gradcheck(ops.add, [t(rng, 3, 4), t(rng, 4)])
+
+    def test_add_broadcast_keepdim(self, rng):
+        assert gradcheck(ops.add, [t(rng, 3, 1), t(rng, 3, 4)])
+
+    def test_sub(self, rng):
+        assert gradcheck(ops.sub, [t(rng, 2, 3), t(rng, 2, 3)])
+
+    def test_mul(self, rng):
+        assert gradcheck(ops.mul, [t(rng, 2, 3), t(rng, 2, 3)])
+
+    def test_mul_broadcast_scalar(self, rng):
+        assert gradcheck(ops.mul, [t(rng, 2, 3), t(rng)])
+
+    def test_div(self, rng):
+        b = Tensor(np.abs(np.random.default_rng(1).normal(size=(2, 3))) + 1.0, requires_grad=True)
+        assert gradcheck(ops.div, [t(rng, 2, 3), b])
+
+    def test_maximum(self, rng):
+        # Avoid exact ties where the subgradient is ambiguous.
+        a = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 3)) + 0.01, requires_grad=True)
+        assert gradcheck(ops.maximum, [a, b])
+
+    def test_where(self, rng):
+        cond = rng.random((3, 3)) > 0.5
+        assert gradcheck(lambda a, b: ops.where(cond, a, b), [t(rng, 3, 3), t(rng, 3, 3)])
+
+    def test_power(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(4,))) + 0.5, requires_grad=True)
+        assert gradcheck(lambda x: ops.power(x, 2.5), [a])
+
+
+class TestUnaryGradients:
+    @pytest.mark.parametrize("op", [ops.exp, ops.tanh, ops.sigmoid, ops.log_sigmoid, ops.softplus, ops.neg])
+    def test_smooth_ops(self, op, rng):
+        assert gradcheck(op, [t(rng, 3, 4)])
+
+    def test_log(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(5,))) + 0.5, requires_grad=True)
+        assert gradcheck(ops.log, [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(5,))) + 0.5, requires_grad=True)
+        assert gradcheck(ops.sqrt, [a])
+
+    def test_relu_away_from_kink(self, rng):
+        a = Tensor(rng.normal(size=(4, 4)) + np.sign(rng.normal(size=(4, 4))) * 0.1, requires_grad=True)
+        assert gradcheck(ops.relu, [a])
+
+    def test_leaky_relu_away_from_kink(self, rng):
+        vals = rng.normal(size=(4, 4))
+        vals = np.where(np.abs(vals) < 0.05, 0.2, vals)
+        assert gradcheck(lambda x: ops.leaky_relu(x, 0.3), [Tensor(vals, requires_grad=True)])
+
+
+class TestReductionGradients:
+    def test_sum_all(self, rng):
+        assert gradcheck(lambda x: ops.sum(x), [t(rng, 3, 4)])
+
+    def test_sum_axis(self, rng):
+        assert gradcheck(lambda x: ops.sum(x, axis=0), [t(rng, 3, 4)])
+
+    def test_sum_axis_keepdims(self, rng):
+        assert gradcheck(lambda x: ops.sum(x, axis=1, keepdims=True), [t(rng, 3, 4)])
+
+    def test_sum_multi_axis(self, rng):
+        assert gradcheck(lambda x: ops.sum(x, axis=(0, 2)), [t(rng, 2, 3, 4)])
+
+    def test_mean_all(self, rng):
+        assert gradcheck(lambda x: ops.mean(x), [t(rng, 3, 4)])
+
+    def test_mean_axis(self, rng):
+        assert gradcheck(lambda x: ops.mean(x, axis=1), [t(rng, 2, 5)])
+
+    def test_max_axis(self, rng):
+        assert gradcheck(lambda x: ops.max(x, axis=1), [t(rng, 3, 5)])
+
+    def test_max_all(self, rng):
+        assert gradcheck(lambda x: ops.max(x), [t(rng, 3, 3)])
+
+    def test_logsumexp(self, rng):
+        assert gradcheck(lambda x: ops.logsumexp(x, axis=1), [t(rng, 3, 4)])
+
+    def test_logsumexp_keepdims(self, rng):
+        assert gradcheck(lambda x: ops.logsumexp(x, axis=0, keepdims=True), [t(rng, 3, 4)])
+
+
+class TestSoftmaxGradients:
+    def test_softmax(self, rng):
+        assert gradcheck(lambda x: ops.softmax(x, axis=-1), [t(rng, 3, 5)])
+
+    def test_softmax_weighted(self, rng):
+        w = rng.normal(size=(3, 5))
+        assert gradcheck(lambda x: ops.mul(ops.softmax(x, axis=-1), w), [t(rng, 3, 5)])
+
+    def test_masked_softmax(self, rng):
+        mask = rng.random((3, 5)) < 0.7
+        mask[0] = True  # keep at least one fully live row
+        assert gradcheck(lambda x: ops.masked_softmax(x, mask), [t(rng, 3, 5)])
+
+    def test_masked_softmax_with_dead_row(self, rng):
+        mask = np.ones((2, 4), dtype=bool)
+        mask[1] = False
+        assert gradcheck(lambda x: ops.masked_softmax(x, mask), [t(rng, 2, 4)])
+
+
+class TestLinearAlgebraGradients:
+    def test_matmul_2d(self, rng):
+        assert gradcheck(ops.matmul, [t(rng, 3, 4), t(rng, 4, 2)])
+
+    def test_matmul_batched(self, rng):
+        assert gradcheck(ops.matmul, [t(rng, 2, 3, 4), t(rng, 2, 4, 5)])
+
+    def test_matmul_broadcast_batch(self, rng):
+        assert gradcheck(ops.matmul, [t(rng, 2, 3, 4), t(rng, 4, 5)])
+
+    def test_matmul_vector_right(self, rng):
+        assert gradcheck(ops.matmul, [t(rng, 3, 4), t(rng, 4)])
+
+    def test_matmul_vector_left(self, rng):
+        assert gradcheck(ops.matmul, [t(rng, 4), t(rng, 4, 3)])
+
+    def test_einsum_bilinear(self, rng):
+        assert gradcheck(
+            lambda u, m, v: ops.einsum("bd,hde,bke->bhk", u, m, v),
+            [t(rng, 2, 3), t(rng, 2, 3, 3), t(rng, 2, 4, 3)],
+        )
+
+    def test_einsum_weighted_sum(self, rng):
+        assert gradcheck(
+            lambda w, v: ops.einsum("bhk,bke->bhe", w, v),
+            [t(rng, 2, 3, 4), t(rng, 2, 4, 5)],
+        )
+
+    def test_einsum_grouped(self, rng):
+        assert gradcheck(
+            lambda w, v: ops.einsum("bhwk,bwkd->bhwd", w, v),
+            [t(rng, 2, 2, 3, 2), t(rng, 2, 3, 2, 4)],
+        )
+
+    def test_einsum_table_transform(self, rng):
+        assert gradcheck(
+            lambda e, m: ops.einsum("nq,rhpq->nrhp", e, m),
+            [t(rng, 4, 3), t(rng, 2, 2, 3, 3)],
+        )
+
+
+class TestShapeGradients:
+    def test_reshape(self, rng):
+        assert gradcheck(lambda x: ops.reshape(x, (6,)), [t(rng, 2, 3)])
+
+    def test_transpose(self, rng):
+        assert gradcheck(lambda x: ops.transpose(x, (1, 0, 2)), [t(rng, 2, 3, 4)])
+
+    def test_concat(self, rng):
+        assert gradcheck(
+            lambda a, b: ops.concat([a, b], axis=1), [t(rng, 2, 3), t(rng, 2, 2)]
+        )
+
+    def test_stack(self, rng):
+        assert gradcheck(lambda a, b: ops.stack([a, b], axis=1), [t(rng, 2, 3), t(rng, 2, 3)])
+
+    def test_gather_rows(self, rng):
+        idx = np.array([[0, 2], [1, 1]])
+        assert gradcheck(lambda x: ops.gather_rows(x, idx), [t(rng, 4, 3)])
+
+    def test_tuple_index_select(self, rng):
+        rows = np.array([0, 2, 2])
+        cols = np.array([1, 0, 1])
+        assert gradcheck(lambda x: ops.index_select(x, (rows, cols)), [t(rng, 3, 2, 4)])
+
+
+class TestCompositeGradients:
+    """End-to-end expressions matching what the models actually compute."""
+
+    def test_attention_block(self, rng):
+        """Softmax attention with bilinear scores — the CG-KGR hot path."""
+        center, matrix, neighbors = t(rng, 2, 3), t(rng, 2, 3, 3), t(rng, 2, 4, 3)
+
+        def fn(c, m, nb):
+            scores = ops.einsum("bd,hde,bke->bhk", c, m, nb)
+            weights = ops.softmax(scores, axis=-1)
+            summary = ops.einsum("bhk,bke->bhe", weights, nb)
+            return ops.mean(summary, axis=1)
+
+        assert gradcheck(fn, [center, matrix, neighbors])
+
+    def test_bce_with_logits(self, rng):
+        logits = t(rng, 8)
+
+        def fn(x):
+            return ops.neg(ops.add(
+                ops.mean(ops.log_sigmoid(x)),
+                ops.mean(ops.log_sigmoid(ops.neg(x))),
+            ))
+
+        assert gradcheck(fn, [logits])
+
+    def test_embedding_then_bilinear(self, rng):
+        table = t(rng, 6, 3)
+        idx = np.array([0, 5, 2])
+        other = t(rng, 3, 3)
+
+        def fn(tbl, o):
+            rows = ops.gather_rows(tbl, idx)
+            return ops.sum(ops.mul(rows, o), axis=-1)
+
+        assert gradcheck(fn, [table, other])
+
+    def test_guided_gating(self, rng):
+        """f ⊙ head gating as used in knowledge-aware attention."""
+        head, guide = t(rng, 2, 4, 3), t(rng, 2, 3)
+
+        def fn(h, g):
+            return ops.mul(h, ops.reshape(g, (2, 1, 3)))
+
+        assert gradcheck(fn, [head, guide])

@@ -1,0 +1,259 @@
+"""Forward correctness of every differentiable op against plain numpy."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import ops
+
+
+@pytest.fixture()
+def arrays(rng):
+    return rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+
+
+class TestBinaryOps:
+    def test_add(self, arrays):
+        a, b = arrays
+        np.testing.assert_allclose(ops.add(Tensor(a), Tensor(b)).numpy(), a + b)
+
+    def test_sub(self, arrays):
+        a, b = arrays
+        np.testing.assert_allclose(ops.sub(Tensor(a), Tensor(b)).numpy(), a - b)
+
+    def test_mul(self, arrays):
+        a, b = arrays
+        np.testing.assert_allclose(ops.mul(Tensor(a), Tensor(b)).numpy(), a * b)
+
+    def test_div(self, arrays):
+        a, b = arrays
+        b = np.abs(b) + 1.0
+        np.testing.assert_allclose(ops.div(Tensor(a), Tensor(b)).numpy(), a / b)
+
+    def test_broadcast_add(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4,))
+        np.testing.assert_allclose(ops.add(Tensor(a), Tensor(b)).numpy(), a + b)
+
+    def test_maximum(self, arrays):
+        a, b = arrays
+        np.testing.assert_allclose(ops.maximum(Tensor(a), Tensor(b)).numpy(), np.maximum(a, b))
+
+    def test_where(self, arrays):
+        a, b = arrays
+        cond = a > 0
+        np.testing.assert_allclose(
+            ops.where(cond, Tensor(a), Tensor(b)).numpy(), np.where(cond, a, b)
+        )
+
+    def test_power(self, rng):
+        a = np.abs(rng.normal(size=(3,))) + 0.5
+        np.testing.assert_allclose(ops.power(Tensor(a), 3.0).numpy(), a**3)
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize(
+        "op,ref",
+        [
+            (ops.exp, np.exp),
+            (ops.tanh, np.tanh),
+            (ops.relu, lambda x: np.maximum(x, 0.0)),
+            (ops.neg, np.negative),
+        ],
+    )
+    def test_matches_numpy(self, op, ref, rng):
+        a = rng.normal(size=(5,))
+        np.testing.assert_allclose(op(Tensor(a)).numpy(), ref(a))
+
+    def test_log_and_sqrt(self, rng):
+        a = np.abs(rng.normal(size=(5,))) + 0.1
+        np.testing.assert_allclose(ops.log(Tensor(a)).numpy(), np.log(a))
+        np.testing.assert_allclose(ops.sqrt(Tensor(a)).numpy(), np.sqrt(a))
+
+    def test_sigmoid_matches_definition(self, rng):
+        a = rng.normal(size=(5,))
+        np.testing.assert_allclose(
+            ops.sigmoid(Tensor(a)).numpy(), 1.0 / (1.0 + np.exp(-a))
+        )
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = np.array([-1000.0, 1000.0])
+        out = ops.sigmoid(Tensor(a)).numpy()
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+        assert np.all(np.isfinite(out))
+
+    def test_log_sigmoid_stable(self):
+        a = np.array([-1000.0, 0.0, 1000.0])
+        out = ops.log_sigmoid(Tensor(a)).numpy()
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(-1000.0)
+        assert out[1] == pytest.approx(np.log(0.5))
+        assert out[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_softplus_stable(self):
+        a = np.array([-1000.0, 0.0, 1000.0])
+        out = ops.softplus(Tensor(a)).numpy()
+        np.testing.assert_allclose(out, [0.0, np.log(2.0), 1000.0], atol=1e-12)
+
+    def test_leaky_relu(self):
+        a = np.array([-2.0, 3.0])
+        np.testing.assert_allclose(
+            ops.leaky_relu(Tensor(a), 0.1).numpy(), [-0.2, 3.0]
+        )
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert ops.sum(Tensor(a)).item() == pytest.approx(a.sum())
+
+    def test_sum_axis_keepdims(self, rng):
+        a = rng.normal(size=(3, 4))
+        out = ops.sum(Tensor(a), axis=1, keepdims=True)
+        np.testing.assert_allclose(out.numpy(), a.sum(axis=1, keepdims=True))
+
+    def test_sum_negative_axis(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            ops.sum(Tensor(a), axis=-1).numpy(), a.sum(axis=-1)
+        )
+
+    def test_mean(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(ops.mean(Tensor(a), axis=0).numpy(), a.mean(axis=0))
+
+    def test_max(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(ops.max(Tensor(a), axis=1).numpy(), a.max(axis=1))
+
+    def test_logsumexp_matches_naive(self, rng):
+        a = rng.normal(size=(3, 4))
+        naive = np.log(np.exp(a).sum(axis=1))
+        np.testing.assert_allclose(ops.logsumexp(Tensor(a), axis=1).numpy(), naive)
+
+    def test_logsumexp_large_values_stable(self):
+        a = np.array([[1000.0, 1000.0]])
+        out = ops.logsumexp(Tensor(a), axis=1).numpy()
+        assert out[0] == pytest.approx(1000.0 + np.log(2.0))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        a = rng.normal(size=(4, 6))
+        out = ops.softmax(Tensor(a), axis=-1).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4))
+
+    def test_invariant_to_shift(self, rng):
+        a = rng.normal(size=(2, 5))
+        out1 = ops.softmax(Tensor(a)).numpy()
+        out2 = ops.softmax(Tensor(a + 100.0)).numpy()
+        np.testing.assert_allclose(out1, out2, atol=1e-12)
+
+    def test_masked_softmax_zeroes_masked(self, rng):
+        a = rng.normal(size=(2, 4))
+        mask = np.array([[True, True, False, False], [True, False, True, False]])
+        out = ops.masked_softmax(Tensor(a), mask).numpy()
+        assert np.all(out[~mask] == 0.0)
+        np.testing.assert_allclose(out.sum(axis=-1), [1.0, 1.0])
+
+    def test_masked_softmax_all_masked_row_is_zero(self, rng):
+        a = rng.normal(size=(2, 3))
+        mask = np.array([[False, False, False], [True, True, True]])
+        out = ops.masked_softmax(Tensor(a), mask).numpy()
+        np.testing.assert_allclose(out[0], 0.0)
+        assert out[1].sum() == pytest.approx(1.0)
+
+    def test_masked_softmax_broadcast_mask(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        mask = np.ones((2, 1, 4), dtype=bool)
+        mask[0, 0, -1] = False
+        out = ops.masked_softmax(Tensor(a), mask, axis=-1).numpy()
+        assert np.all(out[0, :, -1] == 0.0)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones((2, 3)))
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        a = rng.normal(size=(2, 6))
+        out = ops.reshape(Tensor(a), (3, 4))
+        assert out.shape == (3, 4)
+
+    def test_transpose_default(self, rng):
+        a = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(ops.transpose(Tensor(a)).numpy(), a.T)
+
+    def test_transpose_axes(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        out = ops.transpose(Tensor(a), (2, 0, 1))
+        assert out.shape == (4, 2, 3)
+
+    def test_concat(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 2))
+        out = ops.concat([Tensor(a), Tensor(b)], axis=1)
+        np.testing.assert_allclose(out.numpy(), np.concatenate([a, b], axis=1))
+
+    def test_stack(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        out = ops.stack([Tensor(a), Tensor(b)], axis=0)
+        assert out.shape == (2, 2, 3)
+
+
+class TestGather:
+    def test_gather_rows_shape(self, rng):
+        table = rng.normal(size=(10, 4))
+        idx = np.array([[0, 1], [9, 0], [3, 3]])
+        out = ops.gather_rows(Tensor(table), idx)
+        assert out.shape == (3, 2, 4)
+        np.testing.assert_allclose(out.numpy(), table[idx])
+
+    def test_gather_rejects_float_indices(self, rng):
+        table = Tensor(rng.normal(size=(4, 2)))
+        with pytest.raises(TypeError):
+            ops.gather_rows(table, np.array([0.5, 1.5]))
+
+    def test_duplicate_indices_accumulate_gradient(self):
+        table = Tensor(np.zeros((3, 2)), requires_grad=True)
+        idx = np.array([1, 1, 1])
+        ops.gather_rows(table, idx).sum().backward()
+        np.testing.assert_allclose(table.grad, [[0, 0], [3, 3], [0, 0]])
+
+    def test_tuple_index_select(self, rng):
+        table = rng.normal(size=(5, 4, 2))
+        rows = np.array([[0, 1], [2, 3]])
+        cols = np.array([[1, 1], [0, 3]])
+        out = ops.index_select(Tensor(table), (rows, cols))
+        np.testing.assert_allclose(out.numpy(), table[rows, cols])
+
+
+class TestEinsumForward:
+    def test_matmul_equivalence(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        out = ops.einsum("ij,jk->ik", Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.numpy(), a @ b)
+
+    def test_requires_explicit_output(self):
+        with pytest.raises(ValueError):
+            ops.einsum("ij,jk", Tensor(np.eye(2)), Tensor(np.eye(2)))
+
+    def test_rejects_repeated_operand_index(self):
+        with pytest.raises(ValueError):
+            ops.einsum("ii->i", Tensor(np.eye(2)))
+
+    def test_rejects_unrecoverable_index(self):
+        # 'j' only appears in the first operand and not the output.
+        with pytest.raises(ValueError):
+            ops.einsum("ij->i", Tensor(np.ones((2, 3))))
+
+    def test_operand_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ops.einsum("ij,jk->ik", Tensor(np.eye(2)))
+
+
+class TestL2Norm:
+    def test_l2_norm_squared(self):
+        a = Tensor([3.0, 4.0], requires_grad=True)
+        out = ops.l2_norm_squared([a])
+        assert out.item() == pytest.approx(25.0)
+
+    def test_l2_empty(self):
+        assert ops.l2_norm_squared([]).item() == 0.0

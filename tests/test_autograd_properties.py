@@ -1,0 +1,148 @@
+"""Hypothesis property tests for the autograd engine.
+
+Invariants checked over randomized shapes/values:
+
+* analytic gradients match numerical gradients for random composites;
+* softmax rows are simplex points; masked softmax respects masks;
+* backward of broadcast ops conserves gradient mass;
+* reshape/transpose round-trips preserve gradients exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import ops
+
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.load_profile("ci")
+
+
+def small_floats(shape):
+    return st.lists(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        min_size=int(np.prod(shape)),
+        max_size=int(np.prod(shape)),
+    ).map(lambda vals: np.asarray(vals).reshape(shape))
+
+
+@st.composite
+def matrix_and_mask(draw):
+    rows = draw(st.integers(1, 4))
+    cols = draw(st.integers(2, 6))
+    data = draw(small_floats((rows, cols)))
+    mask = draw(
+        st.lists(st.booleans(), min_size=rows * cols, max_size=rows * cols)
+    )
+    return data, np.asarray(mask, dtype=bool).reshape(rows, cols)
+
+
+class TestSoftmaxProperties:
+    @given(data=small_floats((3, 5)))
+    def test_rows_on_simplex(self, data):
+        out = ops.softmax(Tensor(data), axis=-1).numpy()
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-12)
+
+    @given(data=small_floats((2, 4)), shift=st.floats(-50, 50, allow_nan=False))
+    def test_shift_invariance(self, data, shift):
+        a = ops.softmax(Tensor(data)).numpy()
+        b = ops.softmax(Tensor(data + shift)).numpy()
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @given(mm=matrix_and_mask())
+    def test_masked_softmax_respects_mask(self, mm):
+        data, mask = mm
+        out = ops.masked_softmax(Tensor(data), mask).numpy()
+        assert np.all(out[~mask] == 0.0)
+        row_live = mask.any(axis=-1)
+        sums = out.sum(axis=-1)
+        np.testing.assert_allclose(sums[row_live], 1.0, atol=1e-12)
+        np.testing.assert_allclose(sums[~row_live], 0.0)
+
+    @given(data=small_floats((2, 6)))
+    def test_full_mask_equals_plain_softmax(self, data):
+        mask = np.ones_like(data, dtype=bool)
+        a = ops.masked_softmax(Tensor(data), mask).numpy()
+        b = ops.softmax(Tensor(data)).numpy()
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestGradientMassConservation:
+    @given(data=small_floats((3, 4)))
+    def test_broadcast_add_conserves_mass(self, data):
+        a = Tensor(data, requires_grad=True)
+        b = Tensor(np.zeros(4), requires_grad=True)
+        ops.add(a, b).sum().backward()
+        # Every output element contributes exactly once to each input.
+        assert a.grad.sum() == 12.0
+        assert b.grad.sum() == 12.0
+
+    @given(data=small_floats((2, 3)))
+    def test_mean_gradient_uniform(self, data):
+        a = Tensor(data, requires_grad=True)
+        ops.mean(a).backward()
+        np.testing.assert_allclose(a.grad, 1.0 / 6.0)
+
+    @given(data=small_floats((4, 3)))
+    def test_reshape_roundtrip_gradient_identity(self, data):
+        a = Tensor(data, requires_grad=True)
+        out = ops.reshape(ops.reshape(a, (12,)), (4, 3))
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 3)))
+
+    @given(data=small_floats((2, 3, 4)))
+    def test_transpose_roundtrip_gradient_identity(self, data):
+        a = Tensor(data, requires_grad=True)
+        out = ops.transpose(ops.transpose(a, (2, 0, 1)), (1, 2, 0))
+        np.testing.assert_allclose(out.numpy(), data)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3, 4)))
+
+
+class TestRandomizedGradchecks:
+    @given(
+        seed=st.integers(0, 10_000),
+        rows=st.integers(1, 3),
+        inner=st.integers(1, 4),
+        cols=st.integers(1, 3),
+    )
+    def test_matmul_any_shape(self, seed, rows, inner, cols):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(rows, inner)), requires_grad=True)
+        b = Tensor(rng.normal(size=(inner, cols)), requires_grad=True)
+        assert gradcheck(ops.matmul, [a, b])
+
+    @given(seed=st.integers(0, 10_000))
+    def test_random_smooth_composite(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        y = Tensor(rng.normal(size=(3,)), requires_grad=True)
+
+        def fn(x, y):
+            z = ops.tanh(ops.add(x, y))
+            return ops.mean(ops.mul(z, ops.sigmoid(x)))
+
+        assert gradcheck(fn, [x, y])
+
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 5))
+    def test_gather_gradcheck_random_indices(self, seed, k):
+        rng = np.random.default_rng(seed)
+        table = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        idx = rng.integers(0, 6, size=(k,))
+        assert gradcheck(lambda t: ops.gather_rows(t, idx), [table])
+
+
+class TestLogSigmoidIdentity:
+    @given(data=small_floats((8,)))
+    def test_matches_log_of_sigmoid(self, data):
+        direct = ops.log_sigmoid(Tensor(data)).numpy()
+        composed = np.log(ops.sigmoid(Tensor(data)).numpy())
+        np.testing.assert_allclose(direct, composed, atol=1e-10)
+
+    @given(data=small_floats((8,)))
+    def test_softplus_symmetry(self, data):
+        # softplus(x) - softplus(-x) == x
+        a = ops.softplus(Tensor(data)).numpy()
+        b = ops.softplus(Tensor(-data)).numpy()
+        np.testing.assert_allclose(a - b, data, atol=1e-10)

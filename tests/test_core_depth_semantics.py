@@ -1,0 +1,71 @@
+"""Semantics of high-order knowledge extraction (Eq. 18-20).
+
+Information must flow exactly ``L`` hops: perturbing an entity that is
+only reachable at hop ``h`` changes the score iff ``L >= h``.  Uses a
+hand-built chain KG so reachability is unambiguous.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CGKGR, CGKGRConfig
+from repro.data.dataset import DatasetSplits, RecDataset
+from repro.graph import InteractionGraph, KnowledgeGraph
+
+
+@pytest.fixture()
+def chain_dataset():
+    """Item 0's KG neighborhood is the chain 0 - 2 - 3 - 4 (entities 2,
+    3, 4 are non-items), so entity 3 is hop-2 and entity 4 is hop-3.
+    A second item (1) exists so negative sampling works."""
+    train = InteractionGraph([(0, 0), (1, 0), (0, 1), (1, 1)], n_users=2, n_items=2)
+    kg = KnowledgeGraph(
+        [(0, 0, 2), (2, 0, 3), (3, 0, 4)], n_entities=5, n_relations=1
+    )
+    splits = DatasetSplits(
+        train=train,
+        valid=InteractionGraph([(0, 0)], n_users=2, n_items=2),
+        test=InteractionGraph([(1, 1)], n_users=2, n_items=2),
+    )
+    return RecDataset(name="chain", n_users=2, n_items=2, kg=kg, splits=splits)
+
+
+def score_with_perturbation(dataset, depth, entity, delta=3.0):
+    """Score of (user 0, item 0) before/after shifting one entity row."""
+    # kg_sample_size=2 so every chain entity's full neighborhood (at
+    # most two nodes: parent + next) is materialized, and tanh so the
+    # perturbation cannot be swallowed by a dead-ReLU region.
+    cfg = CGKGRConfig(
+        dim=8, depth=depth, n_heads=2, kg_sample_size=2,
+        user_sample_size=2, item_sample_size=2, activation="tanh",
+        no_traverse_back=True, resample_each_epoch=False,
+    )
+    model = CGKGR(dataset, cfg, seed=0)
+    before = model.score_pairs([0], [0]).item()
+    model.entity_embedding.weight.data[entity] += delta
+    after = model.score_pairs([0], [0]).item()
+    return before, after
+
+
+class TestHopReachability:
+    def test_hop1_entity_reaches_all_depths(self, chain_dataset):
+        for depth in (1, 2, 3):
+            before, after = score_with_perturbation(chain_dataset, depth, entity=2)
+            assert before != after, f"hop-1 entity invisible at L={depth}"
+
+    def test_hop2_entity_requires_depth_two(self, chain_dataset):
+        before, after = score_with_perturbation(chain_dataset, 1, entity=3)
+        assert before == pytest.approx(after), "hop-2 entity leaked into L=1"
+        before, after = score_with_perturbation(chain_dataset, 2, entity=3)
+        assert before != after
+
+    def test_hop3_entity_requires_depth_three(self, chain_dataset):
+        before, after = score_with_perturbation(chain_dataset, 2, entity=4)
+        assert before == pytest.approx(after), "hop-3 entity leaked into L=2"
+        before, after = score_with_perturbation(chain_dataset, 3, entity=4)
+        assert before != after
+
+    def test_depth_zero_ignores_all_kg(self, chain_dataset):
+        for entity in (2, 3, 4):
+            before, after = score_with_perturbation(chain_dataset, 0, entity=entity)
+            assert before == pytest.approx(after)

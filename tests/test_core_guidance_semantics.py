@@ -1,0 +1,104 @@
+"""Semantics of the guidance-signal modes (Table VII variants).
+
+The content of the guidance signal differs per mode:
+
+* ``full`` — both sides interactively summarized → sensitive to both the
+  user's item history and the item's user history;
+* ``pf`` — preference filtering only → sensitive to the *user's* history
+  but NOT the item's;
+* ``ag`` — attraction grouping only → the mirror image;
+* ``ne`` — raw node embeddings → sensitive to neither.
+
+We verify by perturbing the sampler's interaction tables and checking
+which modes' guidance vectors move.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core import CGKGR, CGKGRConfig
+
+
+def guidance_vector(model, user=0, item=0):
+    users = np.asarray([user])
+    items = np.asarray([item])
+    v_u0 = model.user_embedding(users)
+    v_i0 = model.entity_embedding(items)
+    v_u = model._summarize_user(users, v_u0)
+    v_i = model._summarize_item(items, v_i0)
+    signal = model._guidance_signal(v_u0, v_i0, v_u, v_i)
+    return None if signal is None else signal.numpy().copy()
+
+
+def perturb_user_history(model):
+    """Shuffle user 0's sampled item neighborhood to different items."""
+    table = model.sampler._user_items
+    table[0] = (table[0] + 1) % model.dataset.n_items
+
+
+def perturb_item_history(model):
+    """Shuffle item 0's sampled user neighborhood to different users."""
+    table = model.sampler._item_users
+    table[0] = (table[0] + 1) % model.dataset.n_users
+
+
+@pytest.fixture()
+def make_model(tiny_dataset):
+    def factory(mode):
+        cfg = CGKGRConfig(
+            dim=8, depth=1, n_heads=2, kg_sample_size=2, guidance_mode=mode,
+            resample_each_epoch=False,
+        )
+        return CGKGR(tiny_dataset, cfg, seed=3)
+
+    return factory
+
+
+class TestGuidanceSensitivity:
+    @pytest.mark.parametrize("mode,expect_change", [
+        ("full", True), ("pf", True), ("ag", False), ("ne", False),
+    ])
+    def test_user_history_sensitivity(self, make_model, mode, expect_change):
+        model = make_model(mode)
+        before = guidance_vector(model)
+        perturb_user_history(model)
+        after = guidance_vector(model)
+        changed = not np.allclose(before, after)
+        assert changed == expect_change, (
+            f"mode {mode}: user-history sensitivity should be {expect_change}"
+        )
+
+    @pytest.mark.parametrize("mode,expect_change", [
+        ("full", True), ("pf", False), ("ag", True), ("ne", False),
+    ])
+    def test_item_history_sensitivity(self, make_model, mode, expect_change):
+        model = make_model(mode)
+        before = guidance_vector(model)
+        perturb_item_history(model)
+        after = guidance_vector(model)
+        changed = not np.allclose(before, after)
+        assert changed == expect_change, (
+            f"mode {mode}: item-history sensitivity should be {expect_change}"
+        )
+
+    def test_wo_cg_guidance_is_none(self, tiny_dataset):
+        cfg = CGKGRConfig(dim=8, depth=1, n_heads=2, kg_sample_size=2, use_guidance=False)
+        model = CGKGR(tiny_dataset, cfg, seed=0)
+        assert guidance_vector(model) is None
+
+    def test_wo_ui_uses_raw_embeddings(self, tiny_dataset):
+        """With interactive summarization off, the guidance must equal the
+        encoder applied to the raw embeddings regardless of mode."""
+        for mode in ("full", "pf", "ag"):
+            cfg = CGKGRConfig(
+                dim=8, depth=1, n_heads=2, kg_sample_size=2,
+                use_interactive=False, guidance_mode=mode,
+            )
+            model = CGKGR(tiny_dataset, cfg, seed=1)
+            users, items = np.asarray([0]), np.asarray([0])
+            v_u0 = model.user_embedding(users)
+            v_i0 = model.entity_embedding(items)
+            expected = model.encoder(v_u0, v_i0).numpy()
+            signal = model._guidance_signal(v_u0, v_i0, v_u0, v_i0)
+            np.testing.assert_allclose(signal.numpy(), expected)

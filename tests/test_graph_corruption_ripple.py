@@ -1,0 +1,126 @@
+"""KG corruption (Fig. 6 substrate) and ripple sets (RippleNet/CKAN)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import KnowledgeGraph, InteractionGraph, corrupt_knowledge_graph
+from repro.graph.ripple import (
+    build_ripple_sets,
+    item_seed_sets,
+    user_seed_sets,
+)
+
+settings.register_profile("ci", max_examples=20, deadline=None)
+settings.load_profile("ci")
+
+
+@pytest.fixture()
+def kg():
+    triples = [(i, i % 3, 10 + i) for i in range(10)]
+    return KnowledgeGraph(triples, n_entities=20, n_relations=3)
+
+
+class TestCorruption:
+    def test_zero_ratio_identical(self, kg, rng):
+        out = corrupt_knowledge_graph(kg, 0.0, rng)
+        np.testing.assert_array_equal(out.triples, kg.triples)
+
+    def test_ratio_corrupts_expected_count(self, kg, rng):
+        out = corrupt_knowledge_graph(kg, 0.4, rng, mode="relation")
+        differs = (out.triples[:, 1] != kg.triples[:, 1]).sum()
+        assert differs == 4
+
+    def test_relation_mode_only_touches_relations(self, kg, rng):
+        out = corrupt_knowledge_graph(kg, 0.5, rng, mode="relation")
+        np.testing.assert_array_equal(out.triples[:, [0, 2]], kg.triples[:, [0, 2]])
+
+    def test_tail_mode_only_touches_tails(self, kg, rng):
+        out = corrupt_knowledge_graph(kg, 0.5, rng, mode="tail")
+        np.testing.assert_array_equal(out.triples[:, [0, 1]], kg.triples[:, [0, 1]])
+        assert (out.triples[:, 2] != kg.triples[:, 2]).sum() == 5
+
+    def test_replacement_always_differs(self, kg):
+        for seed in range(10):
+            out = corrupt_knowledge_graph(
+                kg, 1.0, np.random.default_rng(seed), mode="relation"
+            )
+            assert np.all(out.triples[:, 1] != kg.triples[:, 1])
+
+    def test_replacement_stays_in_range(self, kg, rng):
+        out = corrupt_knowledge_graph(kg, 1.0, rng, mode="both")
+        assert out.triples[:, 1].max() < kg.n_relations
+        assert out.triples[:, 2].max() < kg.n_entities
+
+    def test_source_unmodified(self, kg, rng):
+        original = kg.triples.copy()
+        corrupt_knowledge_graph(kg, 1.0, rng, mode="both")
+        np.testing.assert_array_equal(kg.triples, original)
+
+    def test_invalid_ratio(self, kg, rng):
+        with pytest.raises(ValueError):
+            corrupt_knowledge_graph(kg, 1.5, rng)
+
+    @given(ratio=st.floats(0.0, 1.0), seed=st.integers(0, 1000))
+    def test_corruption_count_property(self, ratio, seed):
+        graph = KnowledgeGraph(
+            [(i, i % 3, 10 + i) for i in range(10)], n_entities=20, n_relations=3
+        )
+        out = corrupt_knowledge_graph(
+            graph, ratio, np.random.default_rng(seed), mode="relation"
+        )
+        differs = (out.triples[:, 1] != graph.triples[:, 1]).sum()
+        assert differs == int(round(ratio * graph.n_triples))
+
+
+class TestRippleSets:
+    def test_shapes(self, kg):
+        seeds = {0: [0, 1], 1: [2]}
+        rs = build_ripple_sets(kg, seeds, n_hops=2, set_size=4, rng=np.random.default_rng(0), n_seeds_total=3)
+        assert rs.n_hops == 2
+        for hop in range(2):
+            assert rs.heads[hop].shape == (3, 4)
+            assert rs.masks[hop].shape == (3, 4)
+
+    def test_hop0_heads_come_from_seeds(self, kg):
+        seeds = {0: [0, 1]}
+        rs = build_ripple_sets(kg, seeds, 1, 8, np.random.default_rng(0), 1)
+        valid_heads = rs.heads[0][0][rs.masks[0][0]]
+        assert set(valid_heads.tolist()) <= {0, 1}
+
+    def test_missing_seed_id_fully_masked(self, kg):
+        rs = build_ripple_sets(kg, {0: [0]}, 1, 4, np.random.default_rng(0), 2)
+        assert not rs.masks[0][1].any()
+
+    def test_triples_are_real_edges(self, kg):
+        rs = build_ripple_sets(kg, {0: [0, 1, 2]}, 2, 8, np.random.default_rng(0), 1)
+        for hop in range(2):
+            for h, r, t, m in zip(
+                rs.heads[hop][0], rs.relations[hop][0], rs.tails[hop][0], rs.masks[hop][0]
+            ):
+                if m:
+                    assert (int(r), int(t)) in kg.neighbors(int(h))
+
+    def test_invalid_hops(self, kg):
+        with pytest.raises(ValueError):
+            build_ripple_sets(kg, {}, 0, 4, np.random.default_rng(0), 1)
+
+
+class TestSeedSets:
+    def test_user_seeds_are_interacted_items(self):
+        inter = InteractionGraph([(0, 1), (0, 2), (1, 0)], n_users=3, n_items=3)
+        seeds = user_seed_sets(inter)
+        assert seeds[0] == [1, 2]
+        assert 2 not in seeds  # user 2 has no interactions
+
+    def test_item_seeds_include_self_and_co_items(self):
+        inter = InteractionGraph([(0, 0), (0, 1), (1, 1), (1, 2)], n_users=2, n_items=3)
+        seeds = item_seed_sets(inter)
+        # Item 1 is co-interacted with 0 (via user 0) and 2 (via user 1).
+        assert seeds[1][0] == 1
+        assert set(seeds[1]) == {0, 1, 2}
+
+    def test_item_with_no_users_seeds_itself(self):
+        inter = InteractionGraph([(0, 0)], n_users=1, n_items=2)
+        seeds = item_seed_sets(inter)
+        assert seeds[1] == [1]

@@ -1,0 +1,175 @@
+"""Neighbor sampling and node flows: shapes, masks, no-traverse-back."""
+
+import numpy as np
+import pytest
+
+from repro.graph import InteractionGraph, KnowledgeGraph, NeighborSampler
+
+
+@pytest.fixture()
+def sampler(micro_dataset, rng):
+    return NeighborSampler(
+        kg=micro_dataset.kg,
+        interactions=micro_dataset.train,
+        user_sample_size=3,
+        item_sample_size=3,
+        kg_sample_size=2,
+        rng=rng,
+    )
+
+
+class TestInteractionNeighborhoods:
+    def test_user_neighborhood_shape(self, sampler):
+        nb = sampler.user_neighborhood([0, 1, 2])
+        assert nb.indices.shape == (3, 3)
+        assert nb.mask.shape == (3, 3)
+
+    def test_user_neighbors_are_items(self, sampler, micro_dataset):
+        nb = sampler.user_neighborhood([0])
+        interacted = set(micro_dataset.train.items_of(0))
+        assert set(nb.indices[0].tolist()) <= interacted
+
+    def test_item_neighbors_are_users(self, sampler, micro_dataset):
+        nb = sampler.item_neighborhood([1])
+        interacting = set(micro_dataset.train.users_of(1))
+        assert set(nb.indices[0].tolist()) <= interacting
+
+    def test_mask_false_for_user_without_interactions(self, micro_dataset, rng):
+        # Build interactions where user 3 has nothing.
+        inter = InteractionGraph([(0, 0)], n_users=4, n_items=4)
+        s = NeighborSampler(micro_dataset.kg, inter, 2, 2, 2, rng)
+        nb = s.user_neighborhood([3])
+        assert not nb.mask.any()
+
+    def test_sampling_without_replacement_when_enough(self, micro_dataset):
+        # User 0 has exactly 2 train items; with size 2 both must appear.
+        rng = np.random.default_rng(0)
+        s = NeighborSampler(micro_dataset.kg, micro_dataset.train, 2, 2, 2, rng)
+        nb = s.user_neighborhood([0])
+        assert set(nb.indices[0].tolist()) == set(micro_dataset.train.items_of(0))
+
+
+class TestNodeFlow:
+    def test_hop_shapes(self, sampler):
+        flow = sampler.kg_node_flow([0, 1], depth=3)
+        assert flow.depth == 3
+        assert [e.shape for e in flow.entities] == [(2, 1), (2, 2), (2, 4), (2, 8)]
+        assert flow.relations[0] is None
+        assert flow.relations[2].shape == (2, 4)
+
+    def test_children_are_kg_neighbors(self, sampler, micro_dataset):
+        flow = sampler.kg_node_flow([0], depth=1)
+        neighbors = {t for _, t in micro_dataset.kg.neighbors(0)}
+        valid = flow.entities[1][0][flow.masks[1][0]]
+        assert set(valid.tolist()) <= neighbors
+
+    def test_relations_match_edges(self, sampler, micro_dataset):
+        flow = sampler.kg_node_flow([0], depth=1)
+        edges = set(micro_dataset.kg.neighbors(0))
+        for rel, ent in zip(flow.relations[1][0], flow.entities[1][0]):
+            assert (int(rel), int(ent)) in edges
+
+    def test_isolated_entity_masked(self, rng):
+        kg = KnowledgeGraph([(0, 0, 1)], n_entities=3, n_relations=1)
+        inter = InteractionGraph([(0, 2)], n_users=1, n_items=3)
+        s = NeighborSampler(kg, inter, 1, 1, 2, rng)
+        flow = s.kg_node_flow([2], depth=2)  # entity 2 has no KG edges
+        assert not flow.masks[1].any()
+        assert not flow.masks[2].any()
+
+    def test_mask_propagates_to_deeper_hops(self, rng):
+        # 0-1 connected, 2 isolated: children of masked nodes stay masked.
+        kg = KnowledgeGraph([(0, 0, 1)], n_entities=3, n_relations=1)
+        inter = InteractionGraph([(0, 0)], n_users=1, n_items=3)
+        s = NeighborSampler(kg, inter, 1, 1, 2, rng)
+        flow = s.kg_node_flow([2], depth=3)
+        for level in range(1, 4):
+            assert not flow.masks[level].any()
+
+    def test_no_traverse_back_avoids_grandparent(self, rng):
+        # Chain 0 - 1 - 2: from 0, hop-2 nodes should prefer 2 over 0.
+        kg = KnowledgeGraph(
+            [(0, 0, 1), (1, 0, 2)], n_entities=3, n_relations=1
+        )
+        inter = InteractionGraph([(0, 0)], n_users=1, n_items=3)
+        s = NeighborSampler(kg, inter, 1, 1, 2, rng)
+        flow = s.kg_node_flow([0], depth=2, no_traverse_back=True)
+        hop2 = flow.entities[2][0]
+        hop1 = flow.entities[1][0]
+        # hop-1 is necessarily entity 1 (only neighbor); its children should
+        # be 2 whenever an alternative to the grandparent exists.
+        assert np.all(hop1 == 1)
+        assert np.all(hop2 == 2)
+
+    def test_traverse_back_allowed_when_disabled(self, rng):
+        kg = KnowledgeGraph([(0, 0, 1), (1, 0, 2)], n_entities=3, n_relations=1)
+        inter = InteractionGraph([(0, 0)], n_users=1, n_items=3)
+        s = NeighborSampler(kg, inter, 1, 1, 4, rng)
+        flow = s.kg_node_flow([0], depth=2, no_traverse_back=False)
+        assert 0 in flow.entities[2][0].tolist()  # may bounce back
+
+    def test_dead_end_keeps_grandparent(self, rng):
+        # Chain 0 - 1 with nothing beyond: traverse-back is unavoidable.
+        kg = KnowledgeGraph([(0, 0, 1)], n_entities=2, n_relations=1)
+        inter = InteractionGraph([(0, 0)], n_users=1, n_items=2)
+        s = NeighborSampler(kg, inter, 1, 1, 2, rng)
+        flow = s.kg_node_flow([0], depth=2, no_traverse_back=True)
+        assert np.all(flow.entities[2][0] == 0)
+
+
+class TestResampling:
+    def test_resample_changes_tables(self, tiny_dataset):
+        s = NeighborSampler(
+            tiny_dataset.kg, tiny_dataset.train, 4, 4, 2, np.random.default_rng(3)
+        )
+        before = s._user_items.copy()
+        changed = False
+        for _ in range(5):
+            s.resample()
+            if not np.array_equal(before, s._user_items):
+                changed = True
+                break
+        assert changed
+
+    def test_invalid_sizes_rejected(self, micro_dataset, rng):
+        with pytest.raises(ValueError):
+            NeighborSampler(micro_dataset.kg, micro_dataset.train, 0, 1, 1, rng)
+
+
+class TestNonUniformSampling:
+    def test_invalid_strategy_rejected(self, micro_dataset, rng):
+        with pytest.raises(ValueError):
+            NeighborSampler(
+                micro_dataset.kg, micro_dataset.train, 2, 2, 2, rng,
+                kg_strategy="importance",
+            )
+
+    def test_degree_strategy_biases_toward_hubs(self, rng):
+        # Entity 0 has neighbors: 1 (degree 1) and 2 (a hub of degree 9).
+        triples = [(0, 0, 1), (0, 0, 2)] + [(2, 0, 3 + i) for i in range(8)]
+        kg = KnowledgeGraph(triples, n_entities=11, n_relations=1)
+        inter = InteractionGraph([(0, 0)], n_users=1, n_items=11)
+        counts = {1: 0, 2: 0}
+        for seed in range(40):
+            s = NeighborSampler(
+                kg, inter, 1, 1, 1, np.random.default_rng(seed),
+                kg_strategy="degree",
+            )
+            chosen = int(s._kg_neighbors[0, 0])
+            counts[chosen] = counts.get(chosen, 0) + 1
+        # Hub entity 2 (degree 9) should be drawn far more often than 1.
+        assert counts[2] > counts[1] * 2
+
+    def test_uniform_strategy_unbiased(self, rng):
+        triples = [(0, 0, 1), (0, 0, 2)] + [(2, 0, 3 + i) for i in range(8)]
+        kg = KnowledgeGraph(triples, n_entities=11, n_relations=1)
+        inter = InteractionGraph([(0, 0)], n_users=1, n_items=11)
+        counts = {1: 0, 2: 0}
+        for seed in range(60):
+            s = NeighborSampler(
+                kg, inter, 1, 1, 1, np.random.default_rng(seed),
+                kg_strategy="uniform",
+            )
+            chosen = int(s._kg_neighbors[0, 0])
+            counts[chosen] = counts.get(chosen, 0) + 1
+        assert counts[1] > 10  # roughly half, certainly not starved
