@@ -1,0 +1,124 @@
+"""Serving latency/throughput — precomputed index + cache vs naive
+per-request full-catalogue scoring.
+
+A zipf-skewed request stream (hot users dominate, as in production
+traffic) is replayed against three serving strategies:
+
+* **naive** — every request runs the model's full-catalogue scoring
+  loop, the only serving path that existed before ``repro.serve``;
+* **index** — the precomputed :class:`TopKIndex`, result cache disabled;
+* **index+cache** — the full :class:`ServingEngine` with its LRU cache.
+
+Reported per strategy: QPS and p50/p95/p99 request latency (plus the
+one-off index build time and the cache hit rate). Scale knobs:
+``REPRO_SERVE_REQUESTS`` (default 400), ``REPRO_EPOCHS``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks import harness
+from repro.core import CGKGR, paper_config
+from repro.baselines import BPRMF
+from repro.data import generate_profile
+from repro.eval.ranking import build_mask_table
+from repro.serve import ServingEngine, TopKIndex, topk_from_scores
+from repro.serve.metrics import LatencyHistogram
+from repro.training import Trainer, TrainerConfig
+from repro.utils import format_table
+
+K = 20
+
+
+def n_requests(default: int = 400) -> int:
+    return int(os.environ.get("REPRO_SERVE_REQUESTS", default))
+
+
+def _zipf_users(n_users: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Skewed user draw: rank r is ~1/r as likely as rank 1."""
+    ranks = rng.permutation(n_users)
+    weights = 1.0 / (1.0 + np.arange(n_users, dtype=np.float64))
+    weights /= weights.sum()
+    return ranks[rng.choice(n_users, size=n, p=weights)]
+
+
+def _replay(answer, users: np.ndarray) -> dict:
+    hist = LatencyHistogram(window=len(users))
+    start = time.perf_counter()
+    for user in users:
+        tick = time.perf_counter()
+        answer(int(user))
+        hist.observe(time.perf_counter() - tick)
+    total = time.perf_counter() - start
+    summary = hist.summary()
+    summary["qps"] = len(users) / total
+    return summary
+
+
+def _bench_model(name: str, model, dataset, users: np.ndarray) -> list:
+    mask_splits = [dataset.train, dataset.valid]
+    mask_table = build_mask_table(mask_splits, dataset.n_users)
+
+    tick = time.perf_counter()
+    index = TopKIndex.build(model, mask_splits=mask_splits)
+    build_time = time.perf_counter() - tick
+
+    def naive(user: int):
+        return topk_from_scores(model.score_all_items(user), K, mask_table[user])
+
+    uncached = ServingEngine(index, model=model, cache_size=0)
+    cached = ServingEngine(index, model=model, cache_size=4096)
+
+    rows = []
+    for label, summary in (
+        ("naive full scoring", _replay(naive, users)),
+        ("index (no cache)", _replay(lambda u: uncached.recommend(u, K), users)),
+        ("index + LRU cache", _replay(lambda u: cached.recommend(u, K), users)),
+    ):
+        rows.append(
+            [
+                f"{name} · {label}",
+                f"{summary['qps']:.0f}",
+                f"{1e3 * summary['p50']:.3f}",
+                f"{1e3 * summary['p95']:.3f}",
+                f"{1e3 * summary['p99']:.3f}",
+            ]
+        )
+    hit_rate = cached.cache_info()["hit_rate"]
+    rows[-1][0] += f" (hit rate {hit_rate:.2f})"
+    rows[1][0] += f" (build {build_time:.2f}s, {index.mode})"
+    return rows
+
+
+def run() -> str:
+    dataset = generate_profile("music", seed=0)
+    requests = n_requests()
+    users = _zipf_users(dataset.n_users, requests, np.random.default_rng(7))
+
+    config = TrainerConfig(
+        epochs=min(harness.n_epochs(), 5), eval_task="none", seed=0
+    )
+    rows = []
+    for name, model in (
+        ("BPRMF", BPRMF(dataset, dim=16, lr=1e-2, seed=0)),
+        ("CG-KGR", CGKGR(dataset, paper_config("music"), seed=0)),
+    ):
+        Trainer(model, config).fit()
+        rows.extend(_bench_model(name, model, dataset, users))
+
+    return format_table(
+        ["strategy", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        rows,
+        title=(
+            f"Serving latency — music, {requests} zipf-skewed requests, "
+            f"top-{K} with seen-item masking"
+        ),
+    )
+
+
+def test_serving_latency(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("serving_latency", output)
+    assert "QPS" in output

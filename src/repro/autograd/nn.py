@@ -50,12 +50,21 @@ class Module:
         """Copy of every parameter array, keyed by dotted attribute path."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load arrays saved by :meth:`state_dict` (shapes must match)."""
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load arrays saved by :meth:`state_dict` (shapes must match).
+
+        ``strict`` (default) also rejects *incomplete* state — every
+        parameter of the module must be present, so a truncated checkpoint
+        fails loudly instead of silently keeping random initialization.
+        """
         params = dict(self.named_parameters())
-        missing = set(state) - set(params)
-        if missing:
-            raise KeyError(f"state_dict has unknown keys: {sorted(missing)}")
+        unknown = set(state) - set(params)
+        if unknown:
+            raise KeyError(f"state_dict has unknown keys: {sorted(unknown)}")
+        if strict:
+            missing = set(params) - set(state)
+            if missing:
+                raise KeyError(f"state_dict is missing keys: {sorted(missing)}")
         for name, value in state.items():
             if params[name].shape != value.shape:
                 raise ValueError(

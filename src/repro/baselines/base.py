@@ -16,7 +16,8 @@ model-vs-model tables to be meaningful.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import inspect
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -75,6 +76,40 @@ class Recommender(Module):
 
     def load_extra_state(self, state: dict) -> None:
         """Restore state captured by :meth:`extra_state`."""
+
+    def export_config(self) -> dict:
+        """Constructor keyword arguments needed to rebuild this model.
+
+        The default implementation reads back every ``__init__`` keyword
+        (besides ``dataset``/``seed``) from a same-named attribute, which
+        every baseline maintains by convention.  Checkpointing
+        (:mod:`repro.serve.checkpoint`) relies on this to re-instantiate a
+        model with identical parameter shapes before loading weights.
+        """
+        signature = inspect.signature(type(self).__init__)
+        config = {}
+        for name in signature.parameters:
+            if name in ("self", "dataset", "seed"):
+                continue
+            if not hasattr(self, name):
+                raise AttributeError(
+                    f"{type(self).__name__} does not store constructor "
+                    f"argument {name!r} as an attribute; either store it or "
+                    "override export_config()"
+                )
+            config[name] = getattr(self, name)
+        return config
+
+    def representations(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Factorized ``(U, I)`` with ``scores = U @ I.T``, if available.
+
+        Models whose score is a pure inner product of user/item vectors
+        (BPRMF, LightGCN) return the final matrices so a retrieval index
+        can precompute them once; models whose item representation depends
+        on the target user (CG-KGR's guidance, KGCN's user-relation
+        attention) return ``None`` and are indexed by dense scoring.
+        """
+        return None
 
     # ------------------------------------------------------------------
     def predict(self, users: Sequence[int], items: Sequence[int], batch_size: int = 2048) -> np.ndarray:

@@ -40,5 +40,16 @@ class BPRMF(Recommender):
         dot = ops.sum(ops.mul(v_u, v_i), axis=-1)
         return ops.add(dot, ops.index_select(self.item_bias, items))
 
+    def representations(self):
+        # The item bias folds into the inner product as an extra dimension
+        # whose user coordinate is fixed at 1.
+        u = self.user_embedding.weight.data
+        i = self.item_embedding.weight.data
+        bias = self.item_bias.data.reshape(-1, 1)
+        return (
+            np.concatenate([u, np.ones((u.shape[0], 1))], axis=1),
+            np.concatenate([i, bias], axis=1),
+        )
+
     def loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
         return self.bpr_loss(users, pos_items, neg_items)

@@ -45,6 +45,7 @@ class KGCN(Recommender):
         self.dim = dim
         self.depth = depth
         self.neighbor_size = neighbor_size
+        self.aggregator = aggregator
         self.lr = lr
         self.l2 = l2
         self.user_embedding = Embedding(dataset.n_users, dim, self.rng)

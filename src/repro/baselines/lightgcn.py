@@ -89,6 +89,11 @@ class LightGCN(Recommender):
         v_i = ops.gather_rows(table, items + self.dataset.n_users)
         return ops.sum(ops.mul(v_u, v_i), axis=-1)
 
+    def representations(self):
+        with no_grad():
+            table = self._propagate().numpy()
+        return table[: self.dataset.n_users], table[self.dataset.n_users :]
+
     def loss(self, users, pos_items, neg_items) -> Tensor:
         self._cached = None
         table = self._propagate()

@@ -36,6 +36,7 @@ class NFM(Recommender):
     ):
         super().__init__(dataset, seed)
         self.dim = dim
+        self.hidden = hidden
         self.lr = lr
         self.l2 = l2
         self.user_embedding = Embedding(dataset.n_users, dim, self.rng)

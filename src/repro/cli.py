@@ -7,9 +7,13 @@ Usage (after ``pip install -e .``)::
     python -m repro train --dataset music --model cg-kgr --epochs 20
     python -m repro train --data-dir /tmp/book --model ckan
     python -m repro compare --dataset book --models bprmf,kgcn,cg-kgr
+    python -m repro export --dataset music --model cg-kgr --out ckpt/
+    python -m repro serve --checkpoint ckpt/ --port 8080
 
 ``train`` reports Top-K and CTR metrics on the test split; ``compare``
-runs the paired multi-seed protocol and prints a Table IV-style block.
+runs the paired multi-seed protocol and prints a Table IV-style block;
+``export`` trains and writes a serving checkpoint; ``serve`` boots the
+HTTP recommendation server from one (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -165,6 +169,97 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_export(args) -> int:
+    from repro.serve import save_checkpoint
+
+    dataset = _load_dataset(args)
+    model = _make_model(args.model, dataset, args.seed)
+    print(f"training {model.name} on {dataset.name} for export")
+    trainer = Trainer(
+        model,
+        TrainerConfig(
+            epochs=args.epochs,
+            early_stop_patience=args.patience,
+            eval_task="topk",
+            eval_metric=f"recall@{args.k}",
+            eval_k=args.k,
+            eval_max_users=args.eval_users,
+            verbose=args.verbose,
+            seed=args.seed,
+        ),
+    )
+    fit = trainer.fit()
+    if getattr(args, "data_dir", None):
+        dataset_spec = {"data_dir": args.data_dir, "seed": args.seed}
+    else:
+        dataset_spec = {
+            "profile": args.dataset, "seed": args.seed, "scale": args.scale,
+        }
+    save_checkpoint(
+        model,
+        args.out,
+        dataset_spec=dataset_spec,
+        metrics={
+            "best_epoch": fit.best_epoch,
+            f"val_recall@{args.k}": fit.best_metric,
+        },
+    )
+    print(
+        f"wrote checkpoint to {args.out} "
+        f"({model.num_parameters()} parameters, best epoch {fit.best_epoch})"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import create_server, engine_from_checkpoint, read_manifest
+
+    manifest = read_manifest(args.checkpoint)
+    print(f"loading {manifest['model_name']} checkpoint from {args.checkpoint}")
+    engine = engine_from_checkpoint(
+        args.checkpoint,
+        mode=args.index_mode,
+        cache_size=args.cache_size,
+    )
+    if args.index_users and args.index_users < engine.index.n_users:
+        # Re-index only the most active training users; the engine falls
+        # back to on-the-fly model scoring for everyone else.
+        train = engine.model.dataset.train
+        degree = np.zeros(train.n_users, dtype=np.int64)
+        np.add.at(degree, train.users, 1)
+        users = np.argsort(-degree, kind="stable")[: args.index_users]
+        from repro.serve import ServingEngine, TopKIndex
+
+        index = TopKIndex.build(
+            engine.model,
+            users=users,
+            mask_splits=[engine.model.dataset.train, engine.model.dataset.valid],
+            mode=args.index_mode,
+        )
+        engine = ServingEngine(
+            index, model=engine.model, cache_size=args.cache_size
+        )
+    server = create_server(
+        engine,
+        host=args.host,
+        port=args.port,
+        micro_batch=None if args.no_batch else args.batch_size,
+        quiet=False,
+    )
+    print(
+        f"serving {engine.index.n_indexed_users}/{engine.index.n_users} users "
+        f"({engine.index.mode} index, {engine.index.memory_bytes()} bytes) "
+        f"on http://{args.host}:{server.port}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -197,6 +292,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--models", default="bprmf,kgcn,cg-kgr")
     p.add_argument("--seeds", type=int, default=3)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("export", parents=[train_common], help="train and write a serving checkpoint")
+    p.add_argument("--model", default="cg-kgr")
+    p.add_argument("--data-dir", default=None, help="load real data instead of a profile")
+    p.add_argument("--out", required=True, help="checkpoint directory to create")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("serve", help="serve recommendations from a checkpoint")
+    p.add_argument("--checkpoint", required=True, help="directory written by `repro export`")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
+    p.add_argument("--cache-size", type=int, default=1024, help="LRU result-cache entries")
+    p.add_argument("--index-users", type=int, default=0,
+                   help="index only the N most active users (0 = everyone)")
+    p.add_argument("--index-mode", default="auto", choices=["auto", "factorized", "dense"])
+    p.add_argument("--batch-size", type=int, default=64, help="micro-batch size")
+    p.add_argument("--no-batch", action="store_true", help="disable request micro-batching")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -98,6 +98,11 @@ class CGKGR(Recommender):
     def load_extra_state(self, state: dict) -> None:
         self.sampler.load_state(state)
 
+    def export_config(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self.config)
+
     # ------------------------------------------------------------------
     # Interactive information summarization (Sec. III-A)
     # ------------------------------------------------------------------

@@ -52,13 +52,44 @@ def ndcg_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
 
 
 def rank_items(
-    scores: np.ndarray, masked_items: Optional[Set[int]] = None
+    scores: np.ndarray, masked_items: Optional[Iterable[int]] = None
 ) -> np.ndarray:
-    """Descending-score item ranking with masked items pushed to the end."""
+    """Descending-score item ranking with masked items pushed to the end.
+
+    ``masked_items`` may be any id collection; an ``np.ndarray`` of indices
+    is applied directly (no per-item python loop), which is the form the
+    evaluation protocol and the serving index precompute per user.
+    """
     scores = np.asarray(scores, dtype=np.float64).copy()
-    if masked_items:
-        scores[list(masked_items)] = -np.inf
+    if masked_items is not None:
+        masked = np.asarray(
+            masked_items
+            if isinstance(masked_items, np.ndarray)
+            else list(masked_items),
+            dtype=np.int64,
+        )
+        if masked.size:
+            scores[masked] = -np.inf
     return np.argsort(-scores, kind="stable")
+
+
+def build_mask_table(
+    mask_splits: Sequence[InteractionGraph], n_users: int
+) -> List[np.ndarray]:
+    """Per-user sorted arrays of items to exclude from ranking candidates.
+
+    One pass over the mask splits (train, and optionally validation) yields
+    an index array per user that :func:`rank_items` and the serving index
+    (:mod:`repro.serve.index`) apply directly — the two consumers share one
+    masking code path, so evaluation and serving cannot drift apart.
+    """
+    table: List[List[int]] = [[] for _ in range(n_users)]
+    for split in mask_splits:
+        for u, i in zip(split.users, split.items):
+            table[int(u)].append(int(i))
+    return [
+        np.unique(np.asarray(items, dtype=np.int64)) for items in table
+    ]
 
 
 def evaluate_topk(
@@ -103,12 +134,15 @@ def evaluate_topk(
         for metric in ("recall", "ndcg", "precision", "hit")
         for k in k_list
     }
+    mask_table = build_mask_table(mask_splits, test.n_users)
     for user in test_users:
         relevant = set(test.items_of(user))
-        masked: Set[int] = set()
-        for split in mask_splits:
-            masked.update(split.items_of(user))
-        masked -= relevant  # never mask the ground truth itself
+        # Never mask the ground truth itself.
+        masked = np.setdiff1d(
+            mask_table[user],
+            np.fromiter(relevant, dtype=np.int64, count=len(relevant)),
+            assume_unique=True,
+        )
         scores = model.score_all_items(user)
         ranked = rank_items(scores, masked)
         ranked_list = ranked.tolist()

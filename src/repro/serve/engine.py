@@ -1,0 +1,266 @@
+"""Online serving engine: cache → index → model fallback.
+
+``ServingEngine`` answers recommendation requests through three tiers:
+
+1. an LRU cache of recent ``(user, k)`` results (hot users repeat);
+2. the precomputed :class:`~repro.serve.index.TopKIndex`;
+3. on-the-fly scoring through the model for *cold* users that were left
+   out of the index (graceful degradation instead of a 404).
+
+``MicroBatcher`` sits in front of the engine for concurrent frontends
+(the HTTP server handles each request on its own thread): requests are
+queued and flushed as one vectorized index query when either the batch
+fills or a small wait window elapses — classic serving micro-batching.
+
+Every tier bumps counters in a :class:`~repro.serve.metrics.MetricsRegistry`
+(``requests``, ``cache_hits``/``cache_misses``, ``fallback_users``) and
+request latency lands in the ``recommend_latency_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.serve.index import TopKIndex, topk_from_scores
+from repro.serve.metrics import MetricsRegistry
+
+Result = Tuple[np.ndarray, np.ndarray]  # (items, scores), each length k
+
+
+def engine_from_checkpoint(
+    path: str,
+    dataset=None,
+    users: Optional[Sequence[int]] = None,
+    mask_valid: bool = True,
+    mode: str = "auto",
+    cache_size: int = 1024,
+    metrics: Optional[MetricsRegistry] = None,
+) -> "ServingEngine":
+    """Checkpoint directory → ready-to-serve engine (offline → online).
+
+    Loads the model (:func:`repro.serve.checkpoint.load_checkpoint`),
+    precomputes the retrieval index over ``users`` (default: everyone)
+    with the user's known history masked, and attaches the model for
+    cold-user fallback.
+    """
+    from repro.serve.checkpoint import load_checkpoint
+
+    model = load_checkpoint(path, dataset)
+    mask_splits = [model.dataset.train]
+    if mask_valid:
+        mask_splits.append(model.dataset.valid)
+    index = TopKIndex.build(model, users=users, mask_splits=mask_splits, mode=mode)
+    return ServingEngine(index, model=model, cache_size=cache_size, metrics=metrics)
+
+
+class ServingEngine:
+    """Thread-safe recommendation serving over an index + optional model."""
+
+    def __init__(
+        self,
+        index: TopKIndex,
+        model: Optional[Recommender] = None,
+        cache_size: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.index = index
+        self.model = model
+        self.cache_size = int(cache_size)
+        self.metrics = metrics or MetricsRegistry()
+        self._cache: "OrderedDict[Tuple[int, int, bool], Result]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def _cache_get(self, key) -> Optional[Result]:
+        with self._lock:
+            result = self._cache.get(key)
+            if result is not None:
+                self._cache.move_to_end(key)
+                self.metrics.inc("cache_hits")
+            else:
+                self.metrics.inc("cache_misses")
+            return result
+
+    def _cache_put(self, key, result: Result) -> None:
+        if self.cache_size <= 0:
+            return
+        with self._lock:
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def _fallback(self, user: int, k: int, mask_seen: bool) -> Result:
+        """Cold-user path: score the catalogue through the model."""
+        if self.model is None:
+            raise KeyError(
+                f"user {user} is not in the index and no model is attached "
+                "for fallback scoring"
+            )
+        self.metrics.inc("fallback_users")
+        scores = self.model.score_all_items(int(user))
+        masked = self.index.mask_table[int(user)] if mask_seen else None
+        return topk_from_scores(scores, min(k, self.index.n_items), masked)
+
+    def recommend(self, user: int, k: int = 10, mask_seen: bool = True) -> Result:
+        """Top-``k`` (items, scores) for one user, cached."""
+        user = int(user)
+        if not 0 <= user < self.index.n_users:
+            raise KeyError(f"unknown user id {user}")
+        self.metrics.inc("requests")
+        key = (user, int(k), bool(mask_seen))
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        with self.metrics.time("recommend_latency_seconds"):
+            if self.index.contains(user):
+                items, scores = self.index.topk([user], k, mask_seen=mask_seen)
+                result = (items[0], scores[0])
+            else:
+                result = self._fallback(user, k, mask_seen)
+        self._cache_put(key, result)
+        return result
+
+    def recommend_many(
+        self, users: Sequence[int], k: int = 10, mask_seen: bool = True
+    ) -> List[Result]:
+        """Batched variant: one vectorized index query for the uncached,
+        indexed users; per-user fallback for the rest."""
+        users = [int(u) for u in users]
+        for user in users:
+            if not 0 <= user < self.index.n_users:
+                raise KeyError(f"unknown user id {user}")
+        self.metrics.inc("requests", len(users))
+        self.metrics.inc("batched_queries")
+        results: Dict[int, Result] = {}
+        to_index: List[int] = []
+        to_fallback: List[int] = []
+        for user in set(users):
+            cached = self._cache_get((user, int(k), bool(mask_seen)))
+            if cached is not None:
+                results[user] = cached
+            elif self.index.contains(user):
+                to_index.append(user)
+            else:
+                to_fallback.append(user)
+        with self.metrics.time("recommend_latency_seconds"):
+            if to_index:
+                items, scores = self.index.topk(to_index, k, mask_seen=mask_seen)
+                for pos, user in enumerate(to_index):
+                    result = (items[pos], scores[pos])
+                    results[user] = result
+                    self._cache_put((user, int(k), bool(mask_seen)), result)
+            for user in to_fallback:
+                result = self._fallback(user, k, mask_seen)
+                results[user] = result
+                self._cache_put((user, int(k), bool(mask_seen)), result)
+        return [results[user] for user in users]
+
+    def score(self, user: int, items: Sequence[int]) -> np.ndarray:
+        """Raw scores of explicit (user, item) candidates."""
+        user = int(user)
+        item_arr = np.asarray(items, dtype=np.int64)
+        if item_arr.size and (
+            item_arr.min() < 0 or item_arr.max() >= self.index.n_items
+        ):
+            raise KeyError("item id out of range")
+        self.metrics.inc("score_requests")
+        with self.metrics.time("score_latency_seconds"):
+            if self.model is not None:
+                users = np.full(item_arr.size, user, dtype=np.int64)
+                return self.model.predict(users, item_arr)
+            return self.index.scores_of([user])[0][item_arr]
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, float]:
+        with self._lock:
+            size = len(self._cache)
+        snap = self.metrics.snapshot()
+        return {
+            "size": size,
+            "capacity": self.cache_size,
+            "hits": snap["counters"].get("cache_hits", 0.0),
+            "misses": snap["counters"].get("cache_misses", 0.0),
+            "hit_rate": snap["cache_hit_rate"],
+        }
+
+
+class MicroBatcher:
+    """Collects concurrent requests into vectorized engine calls.
+
+    ``submit`` returns a :class:`concurrent.futures.Future`; a background
+    worker flushes the queue whenever ``max_batch`` requests are waiting
+    or the oldest has waited ``max_wait_ms`` — so a lone request pays at
+    most the wait window and a burst is answered by one blocked matmul.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self._queue: List[Tuple[int, int, Future]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self._worker.start()
+
+    def submit(self, user: int, k: int = 10) -> "Future[Result]":
+        future: "Future[Result]" = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.append((int(user), int(k), future))
+            self._cond.notify()
+        return future
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                deadline = time.monotonic() + self.max_wait
+                while len(self._queue) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch, self._queue = self._queue, []
+            self.engine.metrics.inc("microbatch_flushes")
+            self.engine.metrics.observe("microbatch_size", len(batch))
+            by_k: Dict[int, List[Tuple[int, Future]]] = {}
+            for user, k, future in batch:
+                by_k.setdefault(k, []).append((user, future))
+            for k, group in by_k.items():
+                users = [user for user, _ in group]
+                try:
+                    results = self.engine.recommend_many(users, k)
+                except Exception as exc:  # propagate to every waiter
+                    for _, future in group:
+                        future.set_exception(exc)
+                    continue
+                for (_, future), result in zip(group, results):
+                    future.set_result(result)

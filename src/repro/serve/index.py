@@ -1,0 +1,202 @@
+"""Offline top-K retrieval index over precomputed representations.
+
+Answers ``top-K items for user u`` without touching the model at request
+time. Two build modes, picked automatically:
+
+* **factorized** — the model exposes final user/item matrices with
+  ``scores = U @ I.T`` (:meth:`Recommender.representations`, e.g. BPRMF,
+  LightGCN); queries are blocked matmuls against the item matrix.
+* **dense** — models whose item representation depends on the target
+  user (CG-KGR's collaborative guidance, KGCN's user-relation attention)
+  cannot be factorized exactly, so the index precomputes full score rows
+  via the same ``score_all_items`` path the ranking protocol uses —
+  build cost equals one full evaluation sweep, queries are row lookups.
+
+Either way the query path is: score row → per-user seen-item mask
+(shared with :func:`repro.eval.ranking.build_mask_table`, so serving and
+evaluation mask identically) → ``np.argpartition`` top-K with the same
+tie-breaking as the brute-force protocol (descending score, ascending
+item id). Top-K equality with :func:`evaluate_topk` is test-enforced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.eval.ranking import build_mask_table
+from repro.graph.interactions import InteractionGraph
+
+
+def topk_from_scores(
+    scores: np.ndarray, k: int, masked: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` (items, scores) of one score row, masked items excluded.
+
+    Matches :func:`repro.eval.ranking.rank_items` ordering exactly:
+    descending score with ties broken by ascending item id.
+    """
+    row = np.asarray(scores, dtype=np.float64)
+    if masked is not None and masked.size:
+        row = row.copy()
+        row[masked] = -np.inf
+    k = min(int(k), row.size)
+    if k < row.size:
+        part = np.argpartition(-row, k - 1)[:k]
+        # argpartition picks an arbitrary subset of items tied at the
+        # k-th boundary; gather every item at the boundary score so the
+        # lexsort below breaks the tie by ascending id, like rank_items.
+        boundary = row[part].min()
+        candidates = np.concatenate(
+            [part[row[part] > boundary], np.flatnonzero(row == boundary)]
+        )
+    else:
+        candidates = np.arange(row.size)
+    order = np.lexsort((candidates, -row[candidates]))[:k]
+    items = candidates[order]
+    return items, row[items]
+
+
+class TopKIndex:
+    """Precomputed user→item retrieval over a trained recommender."""
+
+    def __init__(
+        self,
+        user_ids: np.ndarray,
+        n_users: int,
+        n_items: int,
+        mode: str,
+        mask_table: List[np.ndarray],
+        user_reps: Optional[np.ndarray] = None,
+        item_reps: Optional[np.ndarray] = None,
+        score_rows: Optional[np.ndarray] = None,
+        block_size: int = 256,
+    ):
+        if mode not in ("factorized", "dense"):
+            raise ValueError(f"unknown index mode {mode!r}")
+        self.user_ids = np.asarray(user_ids, dtype=np.int64)
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        self.mode = mode
+        self.mask_table = mask_table
+        self.block_size = int(block_size)
+        self._user_reps = user_reps
+        self._item_reps = item_reps
+        self._score_rows = score_rows
+        self._row_of = np.full(self.n_users, -1, dtype=np.int64)
+        self._row_of[self.user_ids] = np.arange(len(self.user_ids))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        model: Recommender,
+        users: Optional[Sequence[int]] = None,
+        mask_splits: Optional[Sequence[InteractionGraph]] = None,
+        mode: str = "auto",
+        block_size: int = 256,
+    ) -> "TopKIndex":
+        """Precompute representations (or score rows) for ``users``.
+
+        ``users=None`` indexes the full user id space; pass a subset to
+        bound memory on large catalogues — the serving engine falls back
+        to on-the-fly scoring for users left out.
+        """
+        if mode not in ("auto", "factorized", "dense"):
+            raise ValueError(f"unknown index mode {mode!r}")
+        dataset = model.dataset
+        if users is None:
+            user_ids = np.arange(dataset.n_users, dtype=np.int64)
+        else:
+            user_ids = np.unique(np.asarray(users, dtype=np.int64))
+            if user_ids.size and (
+                user_ids[0] < 0 or user_ids[-1] >= dataset.n_users
+            ):
+                raise ValueError("indexed user ids out of range")
+        if mask_splits is None:
+            mask_splits = [dataset.train]
+        mask_table = build_mask_table(mask_splits, dataset.n_users)
+
+        reps = None if mode == "dense" else model.representations()
+        if mode == "factorized" and reps is None:
+            raise ValueError(
+                f"{model.name} does not expose factorized representations; "
+                "use mode='dense' (or 'auto')"
+            )
+        if reps is not None:
+            user_matrix, item_matrix = reps
+            return cls(
+                user_ids,
+                dataset.n_users,
+                dataset.n_items,
+                "factorized",
+                mask_table,
+                user_reps=np.ascontiguousarray(user_matrix[user_ids]),
+                item_reps=np.ascontiguousarray(item_matrix),
+                block_size=block_size,
+            )
+
+        # Dense: one score row per indexed user, computed through the
+        # exact code path the offline ranking protocol uses.
+        rows = np.empty((len(user_ids), dataset.n_items), dtype=np.float64)
+        for pos, user in enumerate(user_ids):
+            rows[pos] = model.score_all_items(int(user))
+        return cls(
+            user_ids,
+            dataset.n_users,
+            dataset.n_items,
+            "dense",
+            mask_table,
+            score_rows=rows,
+            block_size=block_size,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_indexed_users(self) -> int:
+        return len(self.user_ids)
+
+    def memory_bytes(self) -> int:
+        total = 0
+        for arr in (self._user_reps, self._item_reps, self._score_rows):
+            if arr is not None:
+                total += arr.nbytes
+        return total
+
+    def contains(self, user: int) -> bool:
+        return 0 <= int(user) < self.n_users and self._row_of[int(user)] >= 0
+
+    def scores_of(self, users: Sequence[int]) -> np.ndarray:
+        """``(len(users), n_items)`` score rows for indexed users."""
+        u = np.asarray(users, dtype=np.int64)
+        rows = self._row_of[u]
+        if (rows < 0).any():
+            missing = u[rows < 0].tolist()
+            raise KeyError(f"users not in index: {missing}")
+        if self.mode == "dense":
+            return self._score_rows[rows]
+        out = np.empty((len(rows), self.n_items), dtype=np.float64)
+        for start in range(0, len(rows), self.block_size):
+            block = rows[start : start + self.block_size]
+            out[start : start + len(block)] = (
+                self._user_reps[block] @ self._item_reps.T
+            )
+        return out
+
+    def topk(
+        self, users: Sequence[int], k: int, mask_seen: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` (items, scores) per user; seen items masked by default."""
+        u = np.asarray(users, dtype=np.int64)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        scores = self.scores_of(u)
+        k_eff = min(int(k), self.n_items)
+        items = np.empty((len(u), k_eff), dtype=np.int64)
+        values = np.empty((len(u), k_eff), dtype=np.float64)
+        for pos, user in enumerate(u):
+            masked = self.mask_table[int(user)] if mask_seen else None
+            items[pos], values[pos] = topk_from_scores(scores[pos], k_eff, masked)
+        return items, values

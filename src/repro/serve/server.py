@@ -1,0 +1,217 @@
+"""Stdlib HTTP frontend for the serving engine.
+
+JSON API over :class:`http.server.ThreadingHTTPServer` (one thread per
+connection, no third-party dependency):
+
+* ``GET  /healthz`` — liveness + model/index summary;
+* ``GET  /recommend?user=3&k=10`` — top-K for one user;
+* ``POST /recommend`` — ``{"user": 3, "k": 10}`` or
+  ``{"users": [3, 5], "k": 10}`` for a batch;
+* ``POST /score`` — ``{"user": 3, "items": [1, 2, 5]}`` raw scores;
+* ``GET  /metrics`` — Prometheus text exposition (request counters,
+  cache hit rate, p50/p95/p99 latency; see ``docs/serving.md``).
+
+Unknown users return 404 (unless the engine can fall back to the model),
+malformed requests 400 — the process never dies on a bad request.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from repro.serve.engine import MicroBatcher, ServingEngine
+from repro.serve.metrics import MetricsRegistry
+
+
+class RecommendationServer(ThreadingHTTPServer):
+    """HTTP server owning an engine, its metrics, and an optional batcher."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address,
+        engine: ServingEngine,
+        batcher: Optional[MicroBatcher] = None,
+        quiet: bool = True,
+    ):
+        self.engine = engine
+        self.metrics = engine.metrics
+        self.batcher = batcher
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def server_close(self) -> None:  # also tear down the batcher thread
+        if self.batcher is not None:
+            self.batcher.close()
+        super().server_close()
+
+
+def create_server(
+    engine: ServingEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    micro_batch: Optional[int] = 64,
+    max_wait_ms: float = 2.0,
+    quiet: bool = True,
+) -> RecommendationServer:
+    """Bind a server (``port=0`` picks an ephemeral port).
+
+    ``micro_batch`` enables the request micro-batcher; ``None`` routes
+    every request straight to the engine (still thread-safe, just no
+    cross-request batching).
+    """
+    batcher = (
+        MicroBatcher(engine, max_batch=micro_batch, max_wait_ms=max_wait_ms)
+        if micro_batch
+        else None
+    )
+    return RecommendationServer((host, port), engine, batcher=batcher, quiet=quiet)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: RecommendationServer
+
+    # ------------------------------------------------------------------
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _recommendation(self, user: int, k: int) -> dict:
+        if self.server.batcher is not None:
+            items, scores = self.server.batcher.submit(user, k).result(timeout=30)
+        else:
+            items, scores = self.server.engine.recommend(user, k)
+        return {
+            "user": int(user),
+            "k": int(k),
+            "items": items.tolist(),
+            "scores": [round(float(s), 8) for s in scores],
+        }
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        url = urlparse(self.path)
+        metrics = self.server.metrics
+        metrics.inc("http_requests")
+        with metrics.time("http_request_latency_seconds"):
+            try:
+                if url.path == "/healthz":
+                    engine = self.server.engine
+                    self._send_json(
+                        {
+                            "status": "ok",
+                            "model": engine.model.name if engine.model else None,
+                            "index_mode": engine.index.mode,
+                            "indexed_users": engine.index.n_indexed_users,
+                            "n_users": engine.index.n_users,
+                            "n_items": engine.index.n_items,
+                            "index_bytes": engine.index.memory_bytes(),
+                        }
+                    )
+                elif url.path == "/metrics":
+                    self._send_text(metrics.render())
+                elif url.path == "/recommend":
+                    query = parse_qs(url.query)
+                    if "user" not in query:
+                        raise ValueError("missing 'user' query parameter")
+                    user = int(query["user"][0])
+                    k = int(query.get("k", ["10"])[0])
+                    self._send_json(self._recommendation(user, k))
+                else:
+                    metrics.inc("http_404")
+                    self._send_json({"error": "not found"}, status=404)
+            except KeyError as exc:
+                metrics.inc("http_404")
+                self._send_json({"error": str(exc.args[0])}, status=404)
+            except (ValueError, json.JSONDecodeError) as exc:
+                metrics.inc("http_400")
+                self._send_json({"error": str(exc)}, status=400)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+        url = urlparse(self.path)
+        metrics = self.server.metrics
+        metrics.inc("http_requests")
+        with metrics.time("http_request_latency_seconds"):
+            try:
+                payload = self._read_json()
+                if url.path == "/recommend":
+                    k = int(payload.get("k", 10))
+                    if "users" in payload:
+                        users = [int(u) for u in payload["users"]]
+                        results = self.server.engine.recommend_many(users, k)
+                        self._send_json(
+                            {
+                                "k": k,
+                                "results": [
+                                    {
+                                        "user": user,
+                                        "items": items.tolist(),
+                                        "scores": [round(float(s), 8) for s in scores],
+                                    }
+                                    for user, (items, scores) in zip(users, results)
+                                ],
+                            }
+                        )
+                    elif "user" in payload:
+                        self._send_json(
+                            self._recommendation(int(payload["user"]), k)
+                        )
+                    else:
+                        raise ValueError("body needs 'user' or 'users'")
+                elif url.path == "/score":
+                    if "user" not in payload or "items" not in payload:
+                        raise ValueError("body needs 'user' and 'items'")
+                    scores = self.server.engine.score(
+                        int(payload["user"]),
+                        np.asarray(payload["items"], dtype=np.int64),
+                    )
+                    self._send_json(
+                        {
+                            "user": int(payload["user"]),
+                            "items": [int(i) for i in payload["items"]],
+                            "scores": [round(float(s), 8) for s in scores],
+                        }
+                    )
+                else:
+                    metrics.inc("http_404")
+                    self._send_json({"error": "not found"}, status=404)
+            except KeyError as exc:
+                metrics.inc("http_404")
+                self._send_json({"error": str(exc.args[0])}, status=404)
+            except (ValueError, json.JSONDecodeError) as exc:
+                metrics.inc("http_400")
+                self._send_json({"error": str(exc)}, status=400)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)

@@ -87,6 +87,31 @@ class TestRankItems:
         assert ranked.tolist()[0] == 2
         assert ranked.tolist()[-1] == 1
 
+    def test_ndarray_mask_equals_set_mask(self):
+        rng = np.random.default_rng(5)
+        scores = rng.normal(size=40)
+        masked = {3, 11, 25}
+        np.testing.assert_array_equal(
+            rank_items(scores, masked),
+            rank_items(scores, np.array(sorted(masked), dtype=np.int64)),
+        )
+
+    def test_empty_ndarray_mask_is_noop(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        ranked = rank_items(scores, np.empty(0, dtype=np.int64))
+        assert ranked.tolist() == [1, 2, 0]
+
+    def test_build_mask_table(self, micro_dataset):
+        from repro.eval.ranking import build_mask_table
+
+        table = build_mask_table(
+            [micro_dataset.train, micro_dataset.valid], micro_dataset.n_users
+        )
+        assert len(table) == micro_dataset.n_users
+        # User 0: train items {0, 1} plus valid item {2}, sorted + unique.
+        assert table[0].tolist() == [0, 1, 2]
+        assert table[1].tolist() == [1, 2]
+
 
 class TestAUC:
     def test_perfect_separation(self):

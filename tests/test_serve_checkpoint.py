@@ -1,0 +1,136 @@
+"""Checkpoint round-trips must be bit-exact for every model family.
+
+Covers CG-KGR (extra_state = sampler tables + dataclass config), KGCN
+(extra_state, plain-kwargs config) and BPRMF (no extra_state), plus the
+manifest validation error paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPRMF, KGCN
+from repro.core import CGKGR, CGKGRConfig
+from repro.serve.checkpoint import (
+    build_model,
+    load_checkpoint,
+    model_key_of,
+    read_manifest,
+    save_checkpoint,
+)
+from repro.training import Trainer, TrainerConfig
+
+
+def _train_briefly(model) -> None:
+    Trainer(model, TrainerConfig(epochs=2, eval_task="none", seed=0)).fit()
+
+
+def _all_pairs(dataset):
+    users = np.repeat(np.arange(dataset.n_users), 3)
+    items = np.arange(len(users)) % dataset.n_items
+    return users, items
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda ds: BPRMF(ds, dim=8, seed=3),
+        lambda ds: KGCN(ds, dim=8, depth=2, neighbor_size=3, seed=3),
+        lambda ds: CGKGR(ds, CGKGRConfig(dim=8, depth=2, n_heads=2), seed=3),
+    ],
+    ids=["bprmf", "kgcn", "cg-kgr"],
+)
+def test_round_trip_is_bit_exact(factory, tiny_dataset, tmp_path):
+    model = factory(tiny_dataset)
+    _train_briefly(model)
+    save_checkpoint(model, str(tmp_path / "ckpt"))
+    restored = load_checkpoint(str(tmp_path / "ckpt"), tiny_dataset)
+    assert type(restored) is type(model)
+    users, items = _all_pairs(tiny_dataset)
+    np.testing.assert_array_equal(
+        model.predict(users, items), restored.predict(users, items)
+    )
+
+
+def test_round_trip_restores_nondefault_config(tiny_dataset, tmp_path):
+    model = KGCN(tiny_dataset, dim=4, depth=2, neighbor_size=3,
+                 aggregator="concat", seed=1)
+    save_checkpoint(model, str(tmp_path / "ckpt"))
+    restored = load_checkpoint(str(tmp_path / "ckpt"), tiny_dataset)
+    assert restored.dim == 4
+    assert restored.depth == 2
+    assert restored.aggregator == "concat"
+    users, items = _all_pairs(tiny_dataset)
+    np.testing.assert_array_equal(
+        model.predict(users, items), restored.predict(users, items)
+    )
+
+
+def test_manifest_contents(tiny_dataset, tmp_path):
+    model = BPRMF(tiny_dataset, dim=8, seed=3)
+    save_checkpoint(
+        model, str(tmp_path / "ckpt"), metrics={"val_recall@20": 0.5}
+    )
+    manifest = read_manifest(str(tmp_path / "ckpt"))
+    assert manifest["model_key"] == "bprmf"
+    assert manifest["dataset"]["n_users"] == tiny_dataset.n_users
+    assert manifest["metrics"]["val_recall@20"] == 0.5
+    assert manifest["n_parameters"] == model.num_parameters()
+
+
+def test_dataset_spec_rebuilds_dataset(tmp_path):
+    from repro.data import generate_profile
+
+    dataset = generate_profile("music", seed=0, scale=0.3)
+    model = BPRMF(dataset, dim=8, seed=0)
+    _train_briefly(model)
+    save_checkpoint(
+        model,
+        str(tmp_path / "ckpt"),
+        dataset_spec={"profile": "music", "seed": 0, "scale": 0.3},
+    )
+    restored = load_checkpoint(str(tmp_path / "ckpt"))  # no dataset passed
+    users, items = _all_pairs(dataset)
+    np.testing.assert_array_equal(
+        model.predict(users, items), restored.predict(users, items)
+    )
+
+
+def test_mismatched_dataset_rejected(tiny_dataset, micro_dataset, tmp_path):
+    model = BPRMF(tiny_dataset, dim=8)
+    save_checkpoint(model, str(tmp_path / "ckpt"))
+    with pytest.raises(ValueError, match="dataset mismatch"):
+        load_checkpoint(str(tmp_path / "ckpt"), micro_dataset)
+
+
+def test_missing_manifest_rejected(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_checkpoint(str(tmp_path / "nope"))
+
+
+def test_no_dataset_spec_requires_dataset(tiny_dataset, tmp_path):
+    model = BPRMF(tiny_dataset, dim=8)
+    save_checkpoint(model, str(tmp_path / "ckpt"))
+    with pytest.raises(ValueError, match="dataset_spec"):
+        load_checkpoint(str(tmp_path / "ckpt"))
+
+
+def test_model_key_round_trip(tiny_dataset):
+    model = KGCN(tiny_dataset, dim=4)
+    key = model_key_of(model)
+    rebuilt = build_model(key, tiny_dataset, seed=0, config=model.export_config())
+    assert type(rebuilt) is KGCN
+    assert rebuilt.neighbor_size == model.neighbor_size
+
+
+def test_export_config_reads_constructor_attrs(tiny_dataset):
+    model = BPRMF(tiny_dataset, dim=8, lr=0.1, l2=1e-3)
+    config = model.export_config()
+    assert config == {"dim": 8, "lr": 0.1, "l2": 1e-3}
+
+
+def test_strict_load_rejects_incomplete_state(tiny_dataset):
+    model = BPRMF(tiny_dataset, dim=8)
+    state = model.state_dict()
+    state.pop(next(iter(state)))
+    with pytest.raises(KeyError, match="missing"):
+        model.load_state_dict(state)

@@ -1,0 +1,198 @@
+"""Retrieval index and serving engine semantics.
+
+The load-bearing guarantee: ``TopKIndex.topk`` (with masking) returns
+exactly the prefix of the brute-force ranking protocol
+(``rank_items`` over ``score_all_items``), in both dense and factorized
+modes — serving must never drift from evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPRMF, LightGCN
+from repro.core import CGKGR, CGKGRConfig
+from repro.eval.ranking import build_mask_table, rank_items
+from repro.serve import MicroBatcher, ServingEngine, TopKIndex, topk_from_scores
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def trained_models(tiny_dataset):
+    models = {
+        "bprmf": BPRMF(tiny_dataset, dim=8, seed=1),
+        "lightgcn": LightGCN(tiny_dataset, dim=8, n_layers=2, seed=1),
+        "cg-kgr": CGKGR(tiny_dataset, CGKGRConfig(dim=8, depth=1, n_heads=2), seed=1),
+    }
+    for model in models.values():
+        Trainer(model, TrainerConfig(epochs=2, eval_task="none", seed=0)).fit()
+    return models
+
+
+class TestTopKFromScores:
+    def test_matches_rank_items_prefix(self, rng):
+        scores = rng.normal(size=50)
+        masked = np.array([3, 7, 11], dtype=np.int64)
+        items, values = topk_from_scores(scores, 10, masked)
+        expected = rank_items(scores, masked)[:10]
+        np.testing.assert_array_equal(items, expected)
+        np.testing.assert_array_equal(values, np.sort(values)[::-1])
+
+    def test_tie_break_by_item_id(self):
+        scores = np.array([1.0, 2.0, 2.0, 2.0, 0.5])
+        items, _ = topk_from_scores(scores, 3)
+        np.testing.assert_array_equal(items, [1, 2, 3])
+
+    def test_k_larger_than_catalogue(self):
+        scores = np.array([0.1, 0.3, 0.2])
+        items, _ = topk_from_scores(scores, 10)
+        np.testing.assert_array_equal(items, [1, 2, 0])
+
+
+class TestTopKIndex:
+    @pytest.mark.parametrize("name", ["bprmf", "lightgcn", "cg-kgr"])
+    def test_topk_matches_brute_force(self, trained_models, tiny_dataset, name):
+        model = trained_models[name]
+        mask_splits = [tiny_dataset.train, tiny_dataset.valid]
+        index = TopKIndex.build(model, mask_splits=mask_splits)
+        mask_table = build_mask_table(mask_splits, tiny_dataset.n_users)
+        users = np.arange(tiny_dataset.n_users)
+        items, _ = index.topk(users, 10)
+        for user in users:
+            brute = rank_items(model.score_all_items(int(user)), mask_table[user])
+            np.testing.assert_array_equal(items[user], brute[:10], err_msg=name)
+
+    def test_mode_selection(self, trained_models):
+        assert TopKIndex.build(trained_models["bprmf"]).mode == "factorized"
+        assert TopKIndex.build(trained_models["cg-kgr"]).mode == "dense"
+        # Factorization can be refused explicitly.
+        assert (
+            TopKIndex.build(trained_models["bprmf"], mode="dense").mode == "dense"
+        )
+        with pytest.raises(ValueError, match="factorized"):
+            TopKIndex.build(trained_models["cg-kgr"], mode="factorized")
+
+    def test_unmasked_topk_keeps_seen_items(self, trained_models, tiny_dataset):
+        model = trained_models["bprmf"]
+        index = TopKIndex.build(model)
+        items, _ = index.topk([0], tiny_dataset.n_items, mask_seen=False)
+        assert set(items[0].tolist()) == set(range(tiny_dataset.n_items))
+
+    def test_subset_index(self, trained_models, tiny_dataset):
+        model = trained_models["cg-kgr"]
+        index = TopKIndex.build(model, users=[0, 2, 4])
+        assert index.n_indexed_users == 3
+        assert index.contains(2) and not index.contains(1)
+        with pytest.raises(KeyError, match="not in index"):
+            index.scores_of([1])
+
+    def test_factorized_blocking_consistent(self, trained_models, tiny_dataset):
+        model = trained_models["bprmf"]
+        small = TopKIndex.build(model, block_size=4)
+        big = TopKIndex.build(model, block_size=4096)
+        users = np.arange(tiny_dataset.n_users)
+        np.testing.assert_array_equal(
+            small.scores_of(users), big.scores_of(users)
+        )
+
+
+class TestServingEngine:
+    def test_cache_hit_miss_counters(self, trained_models):
+        engine = ServingEngine(
+            TopKIndex.build(trained_models["bprmf"]), cache_size=16
+        )
+        first = engine.recommend(1, 5)
+        second = engine.recommend(1, 5)
+        np.testing.assert_array_equal(first[0], second[0])
+        info = engine.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == 0.5
+        # A different k is a different cache entry.
+        engine.recommend(1, 7)
+        assert engine.cache_info()["misses"] == 2
+
+    def test_cache_eviction_is_lru(self, trained_models):
+        engine = ServingEngine(
+            TopKIndex.build(trained_models["bprmf"]), cache_size=2
+        )
+        engine.recommend(0, 5)
+        engine.recommend(1, 5)
+        engine.recommend(2, 5)  # evicts user 0
+        engine.recommend(1, 5)  # still cached
+        assert engine.cache_info()["hits"] == 1
+        assert engine.cache_info()["size"] == 2
+
+    def test_cold_user_fallback(self, trained_models, tiny_dataset):
+        model = trained_models["cg-kgr"]
+        indexed = [u for u in range(tiny_dataset.n_users) if u != 3]
+        engine = ServingEngine(
+            TopKIndex.build(model, users=indexed), model=model
+        )
+        items, _ = engine.recommend(3, 5)
+        mask_table = build_mask_table([tiny_dataset.train], tiny_dataset.n_users)
+        brute = rank_items(model.score_all_items(3), mask_table[3])[:5]
+        np.testing.assert_array_equal(items, brute)
+        assert engine.metrics.get("fallback_users") == 1
+
+    def test_cold_user_without_model_errors(self, trained_models):
+        engine = ServingEngine(
+            TopKIndex.build(trained_models["bprmf"], users=[0, 1])
+        )
+        with pytest.raises(KeyError, match="not in the index"):
+            engine.recommend(2, 5)
+
+    def test_unknown_user_rejected(self, trained_models, tiny_dataset):
+        engine = ServingEngine(TopKIndex.build(trained_models["bprmf"]))
+        with pytest.raises(KeyError):
+            engine.recommend(tiny_dataset.n_users + 5, 5)
+
+    def test_recommend_many_matches_single(self, trained_models, tiny_dataset):
+        model = trained_models["bprmf"]
+        batched = ServingEngine(TopKIndex.build(model))
+        single = ServingEngine(TopKIndex.build(model))
+        users = [5, 0, 5, 2]
+        many = batched.recommend_many(users, 6)
+        for user, (items, scores) in zip(users, many):
+            items_1, scores_1 = single.recommend(user, 6)
+            np.testing.assert_array_equal(items, items_1)
+            # BLAS gemm reduction order depends on the block's row count,
+            # so batched and single-user scores may differ in the last ulp.
+            np.testing.assert_allclose(scores, scores_1, rtol=1e-12)
+
+    def test_score_matches_predict(self, trained_models, tiny_dataset):
+        model = trained_models["cg-kgr"]
+        engine = ServingEngine(TopKIndex.build(model), model=model)
+        items = np.array([0, 3, 7])
+        expected = model.predict(np.full(3, 2), items)
+        np.testing.assert_array_equal(engine.score(2, items), expected)
+
+
+class TestMicroBatcher:
+    def test_batches_and_resolves_futures(self, trained_models):
+        engine = ServingEngine(TopKIndex.build(trained_models["bprmf"]))
+        batcher = MicroBatcher(engine, max_batch=8, max_wait_ms=20.0)
+        try:
+            futures = [batcher.submit(user, 5) for user in (0, 1, 2, 0)]
+            results = [f.result(timeout=5) for f in futures]
+        finally:
+            batcher.close()
+        reference = ServingEngine(TopKIndex.build(trained_models["bprmf"]))
+        for user, (items, _) in zip((0, 1, 2, 0), results):
+            np.testing.assert_array_equal(items, reference.recommend(user, 5)[0])
+        assert engine.metrics.get("microbatch_flushes") >= 1
+
+    def test_error_propagates_to_future(self, trained_models, tiny_dataset):
+        engine = ServingEngine(TopKIndex.build(trained_models["bprmf"]))
+        batcher = MicroBatcher(engine, max_batch=4, max_wait_ms=5.0)
+        try:
+            future = batcher.submit(tiny_dataset.n_users + 99, 5)
+            with pytest.raises(KeyError):
+                future.result(timeout=5)
+        finally:
+            batcher.close()
+
+    def test_closed_batcher_rejects_submissions(self, trained_models):
+        engine = ServingEngine(TopKIndex.build(trained_models["bprmf"]))
+        batcher = MicroBatcher(engine)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(0, 5)

@@ -1,0 +1,169 @@
+"""HTTP serving smoke tests, including the CLI offline→online lifecycle:
+``repro export`` writes a checkpoint, the server boots from it on an
+ephemeral port, and the JSON endpoints answer.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.serve import (
+    MetricsRegistry,
+    ServingEngine,
+    TopKIndex,
+    create_server,
+    engine_from_checkpoint,
+)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture(scope="module")
+def served_checkpoint(tmp_path_factory):
+    """Run `repro export` on a 2-epoch music model, boot the server."""
+    ckpt = str(tmp_path_factory.mktemp("serve") / "ckpt")
+    code = main(
+        ["export", "--dataset", "music", "--scale", "0.3", "--model", "cg-kgr",
+         "--epochs", "2", "--eval-users", "5", "--out", ckpt]
+    )
+    assert code == 0
+    engine = engine_from_checkpoint(ckpt)
+    server = create_server(engine, port=0, micro_batch=8, max_wait_ms=1.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.port}", engine
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestServerEndpoints:
+    def test_healthz(self, served_checkpoint):
+        base, engine = served_checkpoint
+        status, payload = _get(base + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["model"] == "CG-KGR"
+        assert payload["indexed_users"] == engine.index.n_indexed_users
+
+    def test_recommend_get(self, served_checkpoint):
+        base, engine = served_checkpoint
+        status, payload = _get(base + "/recommend?user=1&k=5")
+        assert status == 200
+        assert payload["user"] == 1
+        assert len(payload["items"]) == 5
+        assert payload["scores"] == sorted(payload["scores"], reverse=True)
+        expected, _ = engine.recommend(1, 5)
+        assert payload["items"] == expected.tolist()
+
+    def test_recommend_post_batch(self, served_checkpoint):
+        base, _ = served_checkpoint
+        status, payload = _post(base + "/recommend", {"users": [0, 2], "k": 3})
+        assert status == 200
+        assert [r["user"] for r in payload["results"]] == [0, 2]
+        assert all(len(r["items"]) == 3 for r in payload["results"])
+
+    def test_score(self, served_checkpoint):
+        base, engine = served_checkpoint
+        status, payload = _post(base + "/score", {"user": 1, "items": [0, 1, 2]})
+        assert status == 200
+        expected = engine.score(1, np.array([0, 1, 2]))
+        np.testing.assert_allclose(payload["scores"], expected, atol=1e-7)
+
+    def test_metrics_exposition(self, served_checkpoint):
+        base, _ = served_checkpoint
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+            text = response.read().decode()
+        assert "repro_serve_http_requests" in text
+        assert "repro_serve_cache_hit_rate" in text
+        assert "http_request_latency_seconds" in text
+
+    def test_unknown_route_404(self, served_checkpoint):
+        base, _ = served_checkpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_unknown_user_404(self, served_checkpoint):
+        base, _ = served_checkpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/recommend?user=99999")
+        assert excinfo.value.code == 404
+
+    def test_malformed_request_400(self, served_checkpoint):
+        base, _ = served_checkpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base + "/recommend", {"k": 3})  # no user(s)
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/recommend")  # missing query parameter
+        assert excinfo.value.code == 400
+
+
+class TestMetricsRegistry:
+    def test_counters_and_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.inc("requests", 3)
+        for value in (0.010, 0.020, 0.030):
+            metrics.observe("recommend_latency_seconds", value)
+        snap = metrics.snapshot()
+        assert snap["counters"]["requests"] == 3
+        hist = snap["histograms"]["recommend_latency_seconds"]
+        assert hist["count"] == 3
+        assert hist["p50"] == pytest.approx(0.020)
+        text = metrics.render()
+        assert "repro_serve_requests 3" in text
+        assert 'quantile="0.5"' in text
+
+    def test_hit_rate_derivation(self):
+        metrics = MetricsRegistry()
+        metrics.inc("cache_hits", 3)
+        metrics.inc("cache_misses", 1)
+        assert metrics.snapshot()["cache_hit_rate"] == 0.75
+
+    def test_histogram_window_bounds_memory(self):
+        from repro.serve.metrics import LatencyHistogram
+
+        hist = LatencyHistogram(window=10)
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.count == 100
+        # Percentiles reflect only the retained window (90..99).
+        assert hist.percentile(0) >= 90.0
+
+    def test_negative_latency_rejected(self):
+        from repro.serve.metrics import LatencyHistogram
+
+        with pytest.raises(ValueError):
+            LatencyHistogram().observe(-1.0)
+
+
+def test_serve_cli_parser_wiring():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--checkpoint", "/tmp/x", "--port", "0", "--index-users", "5"]
+    )
+    assert args.checkpoint == "/tmp/x"
+    assert args.port == 0
+    assert args.index_users == 5

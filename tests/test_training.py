@@ -72,6 +72,38 @@ class TestTrainer:
         metrics = trainer.evaluate()
         assert metrics["recall@20"] == pytest.approx(result.best_metric)
 
+    def test_fit_restores_best_epoch_parameters_exactly(self, tiny_dataset):
+        """Post-fit scores must be the best-validation-epoch scores.
+
+        Training is fully seeded, so a second model trained for exactly
+        ``best_epoch`` epochs walks the identical parameter trajectory;
+        the fitted model (restored via state_dict + extra_state) must
+        score bit-identically to it.
+        """
+        config = CGKGRConfig(dim=8, depth=1, n_heads=2, batch_size=32)
+        model = CGKGR(tiny_dataset, config, seed=3)
+        result = Trainer(
+            model,
+            TrainerConfig(epochs=5, eval_task="topk", eval_metric="recall@20", seed=0),
+        ).fit()
+        assert 1 <= result.best_epoch <= 5
+
+        replay = CGKGR(tiny_dataset, config, seed=3)
+        Trainer(
+            replay,
+            TrainerConfig(epochs=result.best_epoch, eval_task="none", seed=0),
+        ).fit()
+
+        users = np.repeat(np.arange(tiny_dataset.n_users), 2)
+        items = np.arange(len(users)) % tiny_dataset.n_items
+        np.testing.assert_array_equal(
+            model.predict(users, items), replay.predict(users, items)
+        )
+        state, replay_state = model.state_dict(), replay.state_dict()
+        assert set(state) == set(replay_state)
+        for name in state:
+            np.testing.assert_array_equal(state[name], replay_state[name])
+
     def test_timing_recorded(self, tiny_dataset):
         model = BPRMF(tiny_dataset, dim=8, seed=0)
         trainer = Trainer(model, TrainerConfig(epochs=2, eval_task="none", seed=0))
