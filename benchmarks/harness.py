@@ -31,6 +31,7 @@ from repro.baselines import (
 )
 from repro.core import CGKGR, paper_config
 from repro.data.dataset import RecDataset
+from repro.obs.events import default_tracer
 from repro.training import TrainerConfig
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -207,16 +208,20 @@ def full_comparison(dataset_name: str) -> ComparisonResult:
     path = _cache_path(dataset_name)
     cached = _load_cached(path)
     if cached is not None:
+        default_tracer().event(
+            "cache_hit", phase="full_comparison", dataset=dataset_name
+        )
         return cached
-    result = run_comparison(
-        dataset_name,
-        all_model_factories(dataset_name),
-        seeds=list(range(n_seeds())),
-        trainer_config=trainer_config(),
-        topk_values=TOPK_GRID,
-        eval_ctr_too=True,
-        max_eval_users=eval_users(),
-    )
+    with default_tracer().span("full_comparison", dataset=dataset_name):
+        result = run_comparison(
+            dataset_name,
+            all_model_factories(dataset_name),
+            seeds=list(range(n_seeds())),
+            trainer_config=trainer_config(),
+            topk_values=TOPK_GRID,
+            eval_ctr_too=True,
+            max_eval_users=eval_users(),
+        )
     _store_cache(path, result)
     return result
 
@@ -273,18 +278,20 @@ def cached_comparison(
     path = cache_dir / f"{key}.json"
     cached = _load_cached(path)
     if cached is not None:
+        default_tracer().event("cache_hit", phase=prefix, dataset=dataset_name)
         return cached
     config = trainer_config()
     config = TrainerConfig(**{**config.__dict__, "epochs": epochs})
-    result = run_comparison(
-        dataset_name,
-        factories,
-        seeds=list(range(seeds)),
-        trainer_config=config,
-        topk_values=topk_values,
-        eval_ctr_too=eval_ctr_too,
-        max_eval_users=eval_users(),
-        dataset_factory=dataset_factory,
-    )
+    with default_tracer().span(f"comparison:{prefix}", dataset=dataset_name):
+        result = run_comparison(
+            dataset_name,
+            factories,
+            seeds=list(range(seeds)),
+            trainer_config=config,
+            topk_values=topk_values,
+            eval_ctr_too=eval_ctr_too,
+            max_eval_users=eval_users(),
+            dataset_factory=dataset_factory,
+        )
     _store_cache(path, result)
     return result

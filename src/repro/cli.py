@@ -9,16 +9,22 @@ Usage (after ``pip install -e .``)::
     python -m repro compare --dataset book --models bprmf,kgcn,cg-kgr
     python -m repro export --dataset music --model cg-kgr --out ckpt/
     python -m repro serve --checkpoint ckpt/ --port 8080
+    python -m repro profile cg-kgr --dataset music --steps 3
 
 ``train`` reports Top-K and CTR metrics on the test split; ``compare``
 runs the paired multi-seed protocol and prints a Table IV-style block;
 ``export`` trains and writes a serving checkpoint; ``serve`` boots the
-HTTP recommendation server from one (see docs/serving.md).
+HTTP recommendation server from one (see docs/serving.md); ``profile``
+runs instrumented training steps and prints the per-op autograd profile
+(see docs/observability.md).  ``train``/``export``/``serve`` accept
+``--trace PATH`` (alias ``--log-jsonl``) to write structured span/event
+telemetry as JSONL.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -85,10 +91,33 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _make_tracer(args):
+    """Build a Tracer from ``--trace PATH`` (None when tracing is off)."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.obs import Tracer
+
+    return Tracer(path=args.trace)
+
+
+def _close_tracer(tracer) -> None:
+    if tracer is not None:
+        tracer.close()
+        print(f"wrote trace to {tracer.path} (run {tracer.run_id})")
+
+
+def _configure_verbose_logging(args) -> None:
+    """Route the trainer's per-epoch log lines to stdout under --verbose."""
+    if getattr(args, "verbose", False):
+        logging.basicConfig(level=logging.INFO, format="%(message)s", stream=sys.stdout)
+
+
 def cmd_train(args) -> int:
     dataset = _load_dataset(args)
     model = _make_model(args.model, dataset, args.seed)
     print(f"training {model.name} on {dataset.name}: {dataset.summary()}")
+    _configure_verbose_logging(args)
+    tracer = _make_tracer(args)
     trainer = Trainer(
         model,
         TrainerConfig(
@@ -100,9 +129,11 @@ def cmd_train(args) -> int:
             eval_max_users=args.eval_users,
             verbose=args.verbose,
             seed=args.seed,
+            tracer=tracer,
         ),
     )
     fit = trainer.fit()
+    _close_tracer(tracer)
     print(
         f"best epoch {fit.best_epoch} (val recall@{args.k} = {fit.best_metric:.4f}), "
         f"{fit.time_per_epoch:.2f}s/epoch"
@@ -175,6 +206,8 @@ def cmd_export(args) -> int:
     dataset = _load_dataset(args)
     model = _make_model(args.model, dataset, args.seed)
     print(f"training {model.name} on {dataset.name} for export")
+    _configure_verbose_logging(args)
+    tracer = _make_tracer(args)
     trainer = Trainer(
         model,
         TrainerConfig(
@@ -186,9 +219,11 @@ def cmd_export(args) -> int:
             eval_max_users=args.eval_users,
             verbose=args.verbose,
             seed=args.seed,
+            tracer=tracer,
         ),
     )
     fit = trainer.fit()
+    _close_tracer(tracer)
     if getattr(args, "data_dir", None):
         dataset_spec = {"data_dir": args.data_dir, "seed": args.seed}
     else:
@@ -239,12 +274,14 @@ def cmd_serve(args) -> int:
         engine = ServingEngine(
             index, model=engine.model, cache_size=args.cache_size
         )
+    tracer = _make_tracer(args)
     server = create_server(
         engine,
         host=args.host,
         port=args.port,
         micro_batch=None if args.no_batch else args.batch_size,
         quiet=False,
+        tracer=tracer,
     )
     print(
         f"serving {engine.index.n_indexed_users}/{engine.index.n_users} users "
@@ -257,6 +294,59 @@ def cmd_serve(args) -> int:
         pass
     finally:
         server.server_close()
+        _close_tracer(tracer)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run instrumented training steps and print the per-op profile."""
+    import json
+
+    from repro.autograd.optim import Adam
+    from repro.data.negative_sampling import sample_training_negatives
+    from repro.obs import profile
+
+    dataset = _load_dataset(args)
+    model = _make_model(args.model, dataset, args.seed)
+    optimizer = Adam(model.parameters(), lr=model.lr, weight_decay=model.l2)
+    train = dataset.train
+    rng = np.random.default_rng(args.seed)
+    negatives = sample_training_negatives(
+        train, dataset.all_positive_items(), dataset.n_items, rng
+    )
+    users, pos_items = train.users, train.items
+    batch_size = min(model.batch_size, len(users))
+    order = rng.permutation(len(users))
+
+    def one_step(step: int) -> None:
+        lo = (step * batch_size) % max(1, len(users) - batch_size + 1)
+        batch = order[lo : lo + batch_size]
+        loss = model.loss(users[batch], pos_items[batch], negatives[batch])
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    one_step(0)  # warm-up outside the profile: lazy imports, first-touch caches
+    with profile() as prof:
+        sampler = getattr(model, "sampler", None)
+        if sampler is not None:
+            for method in ("user_neighborhood", "item_neighborhood", "kg_node_flow"):
+                if hasattr(sampler, method):
+                    prof.patch(sampler, method, f"sampler.{method}")
+        prof.patch(optimizer, "step", "optimizer.step")
+        for step in range(1, args.steps + 1):
+            one_step(step)
+    report = prof.report()
+    print(report.render())
+    print(
+        f"\nprofiled {args.steps} training step(s) of {model.name} on "
+        f"{dataset.name} (batch size {batch_size}, "
+        f"{model.num_parameters()} parameters)"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=1)
+        print(f"wrote profile JSON to {args.json}")
     return 0
 
 
@@ -281,6 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
     train_common.add_argument("--patience", type=int, default=8)
     train_common.add_argument("--k", type=int, default=20)
     train_common.add_argument("--eval-users", type=int, default=60)
+    train_common.add_argument(
+        "--trace", "--log-jsonl", dest="trace", metavar="PATH", default=None,
+        help="write obs span/event telemetry as JSONL to PATH",
+    )
 
     p = sub.add_parser("train", parents=[train_common], help="train one model")
     p.add_argument("--model", default="cg-kgr")
@@ -310,7 +404,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index-mode", default="auto", choices=["auto", "factorized", "dense"])
     p.add_argument("--batch-size", type=int, default=64, help="micro-batch size")
     p.add_argument("--no-batch", action="store_true", help="disable request micro-batching")
+    p.add_argument(
+        "--trace", "--log-jsonl", dest="trace", metavar="PATH", default=None,
+        help="write one span per HTTP request as JSONL to PATH",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "profile", parents=[common],
+        help="profile training steps per autograd op (docs/observability.md)",
+    )
+    p.add_argument("model", nargs="?", default="cg-kgr",
+                   help="model to profile (default cg-kgr)")
+    p.add_argument("--steps", type=int, default=3, help="training steps to profile")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the report as JSON to PATH")
+    p.set_defaults(func=cmd_profile)
 
     return parser
 

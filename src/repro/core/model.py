@@ -86,6 +86,27 @@ class CGKGR(Recommender):
             kg_strategy=cfg.kg_sampling,
         )
 
+        #: Observers called with per-hop guidance-attention payloads
+        #: (see :mod:`repro.obs.hooks`); empty list = zero overhead.
+        self._attention_observers: List = []
+
+    # ------------------------------------------------------------------
+    # Observability hooks (repro.obs.hooks.capture_attention)
+    # ------------------------------------------------------------------
+    def add_attention_observer(self, observer) -> None:
+        """Register ``observer(payload)`` for per-hop attention captures.
+
+        While at least one observer is attached, every knowledge-extraction
+        sweep re-evaluates the normalized attention per hop and emits a
+        payload with ``level``, ``items``, ``entities``, ``relations``,
+        ``mask``, and ``weights`` (all numpy).  Only meaningful when
+        ``config.use_attention`` is on.
+        """
+        self._attention_observers.append(observer)
+
+    def remove_attention_observer(self, observer) -> None:
+        self._attention_observers.remove(observer)
+
     # ------------------------------------------------------------------
     def begin_epoch(self, epoch: int) -> None:
         """Redraw fixed-size neighborhoods (Alg. 1 samples per iteration)."""
@@ -187,6 +208,20 @@ class CGKGR(Recommender):
                 summary = self.kg_attention(
                     heads, guidance, gathered, child_values, mask, k
                 )
+                if self._attention_observers:
+                    weights = self.kg_attention.attention_weights(
+                        heads, guidance, gathered, mask, k
+                    )
+                    payload = {
+                        "level": level,
+                        "items": items,
+                        "entities": flow.entities[level],
+                        "relations": flow.relations[level],
+                        "mask": mask,
+                        "weights": weights,
+                    }
+                    for observer in self._attention_observers:
+                        observer(payload)
             else:
                 summary = self.kg_attention(
                     None, None, None, child_values, mask, k, uniform=True

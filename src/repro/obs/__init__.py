@@ -1,0 +1,41 @@
+"""Unified observability: tracing, metrics, profiling, introspection.
+
+Four pillars, shared by training, evaluation, benchmarking, and serving
+(see ``docs/observability.md``):
+
+* :mod:`repro.obs.events` — structured JSONL event log with nested spans
+  (:class:`Tracer`, :data:`NULL_TRACER`, process default for benches);
+* :mod:`repro.obs.metrics` — counters / gauges / latency histograms
+  (:class:`MetricsRegistry`, re-exported by :mod:`repro.serve` for
+  backward compatibility);
+* :mod:`repro.obs.profiler` — autograd per-op forward/backward profiler
+  (:func:`profile`), surfaced as ``repro profile`` on the CLI;
+* :mod:`repro.obs.hooks` — CG-KGR guidance-attention capture
+  (:func:`capture_attention`), Fig. 5 made queryable.
+"""
+
+from repro.obs.events import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    default_tracer,
+    set_default_tracer,
+)
+from repro.obs.hooks import GuidanceAttentionRecorder, capture_attention
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.profiler import Profiler, ProfileReport, profile
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "default_tracer",
+    "set_default_tracer",
+    "MetricsRegistry",
+    "LatencyHistogram",
+    "Profiler",
+    "ProfileReport",
+    "profile",
+    "GuidanceAttentionRecorder",
+    "capture_attention",
+]

@@ -1,0 +1,163 @@
+"""Counters, gauges, and latency histograms behind one registry.
+
+Promoted from ``repro.serve.metrics`` (which now re-exports this module
+for backward compatibility) so the trainer, the benchmark harness, and
+the serving engine all feed the same registry type.  The surface is
+modeled on the Prometheus client (counters + gauges + summaries) with no
+external dependency: latency percentiles come from a bounded reservoir
+of recent samples, which is exact until the reservoir wraps and a
+sliding-window estimate after.
+
+Exported in two forms: :meth:`MetricsRegistry.snapshot` (a plain dict for
+JSON endpoints and tests) and :meth:`MetricsRegistry.render` (Prometheus
+text exposition for ``GET /metrics``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Iterable, List
+
+import numpy as np
+
+__all__ = ["LatencyHistogram", "MetricsRegistry"]
+
+
+class LatencyHistogram:
+    """Bounded reservoir of latency samples with percentile queries."""
+
+    def __init__(self, window: int = 4096):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._samples: Deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        value = float(seconds)
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        self._samples.append(value)
+        self.count += 1
+        self.total += value
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0-100) over the retained window.
+
+        Total function on any window state: an empty window returns 0.0,
+        a single sample returns that sample for every q, and q is clamped
+        into [0, 100] — never raises.
+        """
+        if not self._samples:
+            return 0.0
+        if len(self._samples) == 1:
+            return self._samples[0]
+        q = min(100.0, max(0.0, float(q)))
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def summary(self, quantiles: Iterable[float] = (50, 95, 99)) -> Dict[str, float]:
+        out = {"count": float(self.count), "sum": self.total}
+        for q in quantiles:
+            out[f"p{q:g}"] = self.percentile(q)
+        return out
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and latency histograms behind one lock."""
+
+    def __init__(self, window: int = 4096):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._window = window
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (queue depth, epoch loss, ...)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def get_gauge(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = LatencyHistogram(self._window)
+            hist.observe(seconds)
+
+    def time(self, name: str) -> "_Timer":
+        """``with metrics.time("recommend"): ...`` convenience."""
+        return _Timer(self, name)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view: counters, gauges, histogram summaries, ratios."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {
+                name: hist.summary() for name, hist in self._histograms.items()
+            }
+        hits = counters.get("cache_hits", 0.0)
+        misses = counters.get("cache_misses", 0.0)
+        lookups = hits + misses
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+        }
+
+    def render(self, prefix: str = "repro_serve") -> str:
+        """Prometheus text exposition of every counter, gauge, histogram.
+
+        Histogram names should carry their unit (the engine records e.g.
+        ``recommend_latency_seconds``); quantiles become labeled samples.
+        """
+        snap = self.snapshot()
+        lines: List[str] = []
+        for name, value in sorted(snap["counters"].items()):
+            lines.append(f"# TYPE {prefix}_{name} counter")
+            lines.append(f"{prefix}_{name} {value:g}")
+        for name, value in sorted(snap["gauges"].items()):
+            lines.append(f"# TYPE {prefix}_{name} gauge")
+            lines.append(f"{prefix}_{name} {value:g}")
+        lines.append(f"# TYPE {prefix}_cache_hit_rate gauge")
+        lines.append(f"{prefix}_cache_hit_rate {snap['cache_hit_rate']:.6f}")
+        for name, summary in sorted(snap["histograms"].items()):
+            metric = f"{prefix}_{name}"
+            lines.append(f"# TYPE {metric} summary")
+            for key, value in summary.items():
+                if key in ("count", "sum"):
+                    lines.append(f"{metric}_{key} {value:g}")
+                else:
+                    q = float(key[1:]) / 100.0
+                    lines.append(f'{metric}{{quantile="{q:g}"}} {value:.9f}')
+        return "\n".join(lines) + "\n"
+
+
+class _Timer:
+    def __init__(self, registry: MetricsRegistry, name: str):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._registry.observe(self._name, time.perf_counter() - self._start)

@@ -24,6 +24,7 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from repro.obs.events import NULL_TRACER
 from repro.serve.engine import MicroBatcher, ServingEngine
 from repro.serve.metrics import MetricsRegistry
 
@@ -39,11 +40,15 @@ class RecommendationServer(ThreadingHTTPServer):
         engine: ServingEngine,
         batcher: Optional[MicroBatcher] = None,
         quiet: bool = True,
+        tracer=None,
     ):
         self.engine = engine
         self.metrics = engine.metrics
         self.batcher = batcher
         self.quiet = quiet
+        #: ``repro.obs.Tracer`` receiving one span per request (shares the
+        #: registry behind ``/metrics``); defaults to the no-op tracer.
+        self.tracer = tracer or NULL_TRACER
         super().__init__(address, _Handler)
 
     @property
@@ -63,6 +68,7 @@ def create_server(
     micro_batch: Optional[int] = 64,
     max_wait_ms: float = 2.0,
     quiet: bool = True,
+    tracer=None,
 ) -> RecommendationServer:
     """Bind a server (``port=0`` picks an ephemeral port).
 
@@ -75,7 +81,9 @@ def create_server(
         if micro_batch
         else None
     )
-    return RecommendationServer((host, port), engine, batcher=batcher, quiet=quiet)
+    return RecommendationServer(
+        (host, port), engine, batcher=batcher, quiet=quiet, tracer=tracer
+    )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -83,6 +91,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def _send_json(self, payload: dict, status: int = 200) -> None:
+        span = self.server.tracer.current_span()
+        if span is not None:
+            span.set(status=status)
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -123,7 +134,8 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         metrics = self.server.metrics
         metrics.inc("http_requests")
-        with metrics.time("http_request_latency_seconds"):
+        span = self.server.tracer.span("http.request", method="GET", path=url.path)
+        with span, metrics.time("http_request_latency_seconds"):
             try:
                 if url.path == "/healthz":
                     engine = self.server.engine
@@ -161,7 +173,8 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         metrics = self.server.metrics
         metrics.inc("http_requests")
-        with metrics.time("http_request_latency_seconds"):
+        span = self.server.tracer.span("http.request", method="POST", path=url.path)
+        with span, metrics.time("http_request_latency_seconds"):
             try:
                 payload = self._read_json()
                 if url.path == "/recommend":

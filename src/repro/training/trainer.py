@@ -15,6 +15,7 @@ Implements the paper's optimization protocol (Sec. III-C / IV-C):
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -26,6 +27,7 @@ from repro.baselines.base import Recommender
 from repro.data.negative_sampling import sample_training_negatives
 from repro.eval.ctr import evaluate_ctr
 from repro.eval.ranking import evaluate_topk
+from repro.obs.events import NULL_TRACER
 
 
 @dataclass
@@ -44,6 +46,13 @@ class TrainerConfig:
     shuffle: bool = True
     verbose: bool = False
     seed: int = 0
+    #: Destination of per-epoch progress lines (``verbose``); defaults to
+    #: the ``repro.training`` logger, so output works with or without an
+    #: ``obs`` tracer attached.
+    logger: Optional[logging.Logger] = None
+    #: ``repro.obs.Tracer`` receiving fit/epoch/eval spans and telemetry
+    #: events; ``None`` disables tracing at (near) zero overhead.
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.eval_task not in ("topk", "ctr", "none"):
@@ -75,6 +84,11 @@ class Trainer:
         )
         self._neg_rng = np.random.default_rng(self.config.seed + 7919)
         self._all_positives = model.dataset.all_positive_items()
+        self.logger = self.config.logger or logging.getLogger("repro.training")
+        self.tracer = self.config.tracer or NULL_TRACER
+        #: Telemetry of the most recent ``train_epoch`` call (examples,
+        #: batches, mean grad norm when tracing is enabled).
+        self.last_epoch_stats: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def train_epoch(self, epoch: int) -> float:
@@ -96,6 +110,11 @@ class Trainer:
         total_loss = 0.0
         n_batches = 0
         batch_size = model.batch_size
+        # Grad norms cost an extra O(|Θ|) pass per batch, so they are only
+        # measured when a tracer is attached (keeps the untraced hot path
+        # within the <3% overhead budget of bench_table6).
+        track_grads = self.tracer.enabled
+        grad_norm_sum = 0.0
         for start in range(0, len(users), batch_size):
             batch = order[start : start + batch_size]
             loss = model.loss(users[batch], pos_items[batch], neg_items[batch])
@@ -108,10 +127,26 @@ class Trainer:
                 )
             self.optimizer.zero_grad()
             loss.backward()
+            if track_grads:
+                grad_norm_sum += self._global_grad_norm()
             self.optimizer.step()
             total_loss += loss_value
             n_batches += 1
+        self.last_epoch_stats = {
+            "examples": float(len(users)),
+            "batches": float(n_batches),
+        }
+        if track_grads and n_batches:
+            self.last_epoch_stats["grad_norm"] = grad_norm_sum / n_batches
         return total_loss / max(1, n_batches)
+
+    def _global_grad_norm(self) -> float:
+        """L2 norm over every parameter gradient of the current batch."""
+        total = 0.0
+        for p in self.optimizer.params:
+            if p.grad is not None:
+                total += float(np.sum(p.grad * p.grad))
+        return float(np.sqrt(total))
 
     def evaluate(self) -> Dict[str, float]:
         """Validation metrics per the configured task."""
@@ -134,6 +169,7 @@ class Trainer:
     def fit(self) -> TrainResult:
         """Run the full loop with early stopping and best-state restore."""
         cfg = self.config
+        tracer = self.tracer
         result = TrainResult()
         best_state = None
         best_extra = None
@@ -141,46 +177,92 @@ class Trainer:
         start_time = time.perf_counter()
         epoch_times: List[float] = []
 
-        for epoch in range(1, cfg.epochs + 1):
-            tick = time.perf_counter()
-            mean_loss = self.train_epoch(epoch)
-            epoch_times.append(time.perf_counter() - tick)
+        with tracer.span(
+            "fit", model=self.model.name, dataset=self.model.dataset.name,
+            epochs=cfg.epochs,
+        ) as fit_span:
+            for epoch in range(1, cfg.epochs + 1):
+                # The epoch span brackets exactly the region timed for
+                # Table VI's t̄, so JSONL epoch durations and the reported
+                # time_per_epoch agree; eval runs in its own span.
+                with tracer.span("epoch", epoch=epoch) as epoch_span:
+                    tick = time.perf_counter()
+                    mean_loss = self.train_epoch(epoch)
+                    elapsed = time.perf_counter() - tick
+                    if tracer.enabled:
+                        stats = self.last_epoch_stats
+                        epoch_span.set(
+                            loss=mean_loss,
+                            examples_per_sec=(
+                                stats.get("examples", 0.0) / elapsed
+                                if elapsed > 0
+                                else 0.0
+                            ),
+                        )
+                        if "grad_norm" in stats:
+                            epoch_span.set(grad_norm=stats["grad_norm"])
+                epoch_times.append(elapsed)
 
-            record: Dict[str, float] = {"epoch": epoch, "loss": mean_loss}
-            if cfg.eval_task != "none" and epoch % cfg.eval_every == 0:
-                metrics = self.evaluate()
-                record.update(metrics)
-                metric = metrics.get(cfg.eval_metric)
-                if metric is None:
-                    available = sorted(metrics)
-                    raise KeyError(
-                        f"eval metric {cfg.eval_metric!r} not produced; "
-                        f"available: {available}"
+                record: Dict[str, float] = {"epoch": epoch, "loss": mean_loss}
+                if cfg.eval_task != "none" and epoch % cfg.eval_every == 0:
+                    with tracer.span("eval", epoch=epoch):
+                        metrics = self.evaluate()
+                    record.update(metrics)
+                    metric = metrics.get(cfg.eval_metric)
+                    if metric is None:
+                        available = sorted(metrics)
+                        raise KeyError(
+                            f"eval metric {cfg.eval_metric!r} not produced; "
+                            f"available: {available}"
+                        )
+                    if metric > result.best_metric:
+                        result.best_metric = metric
+                        result.best_epoch = epoch
+                        best_state = self.model.state_dict()
+                        best_extra = self.model.extra_state()
+                        epochs_since_best = 0
+                    else:
+                        epochs_since_best += 1
+                result.history.append(record)
+                if tracer.enabled:
+                    tracer.event(
+                        "epoch_metrics",
+                        **record,
+                        epochs_since_best=epochs_since_best,
+                        best_epoch=result.best_epoch,
                     )
-                if metric > result.best_metric:
-                    result.best_metric = metric
-                    result.best_epoch = epoch
-                    best_state = self.model.state_dict()
-                    best_extra = self.model.extra_state()
-                    epochs_since_best = 0
-                else:
-                    epochs_since_best += 1
-            result.history.append(record)
-            if cfg.verbose:
-                print(f"[{self.model.name}] " + ", ".join(f"{k}={v:.4f}" for k, v in record.items()))
-            if (
-                cfg.eval_task != "none"
-                and epochs_since_best >= cfg.early_stop_patience
-            ):
-                result.stopped_early = True
-                break
+                if cfg.verbose:
+                    self.logger.info(
+                        "[%s] %s",
+                        self.model.name,
+                        ", ".join(f"{k}={v:.4f}" for k, v in record.items()),
+                    )
+                if (
+                    cfg.eval_task != "none"
+                    and epochs_since_best >= cfg.early_stop_patience
+                ):
+                    result.stopped_early = True
+                    tracer.event(
+                        "early_stop",
+                        epoch=epoch,
+                        best_epoch=result.best_epoch,
+                        best_metric=result.best_metric,
+                        patience=cfg.early_stop_patience,
+                    )
+                    break
 
-        if best_state is not None:
-            self.model.load_state_dict(best_state)
-            if best_extra is not None:
-                self.model.load_extra_state(best_extra)
-        if cfg.eval_task == "none":
-            result.best_epoch = cfg.epochs
-        result.total_time = time.perf_counter() - start_time
-        result.time_per_epoch = float(np.mean(epoch_times)) if epoch_times else 0.0
+            if best_state is not None:
+                self.model.load_state_dict(best_state)
+                if best_extra is not None:
+                    self.model.load_extra_state(best_extra)
+            if cfg.eval_task == "none":
+                result.best_epoch = cfg.epochs
+            result.total_time = time.perf_counter() - start_time
+            result.time_per_epoch = float(np.mean(epoch_times)) if epoch_times else 0.0
+            fit_span.set(
+                best_epoch=result.best_epoch,
+                best_metric=result.best_metric,
+                time_per_epoch=result.time_per_epoch,
+                stopped_early=result.stopped_early,
+            )
         return result

@@ -1,5 +1,7 @@
 """CLI smoke tests (argument wiring; training runs are minimal)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -54,6 +56,43 @@ class TestParser:
         assert code == 0
         out = capsys.readouterr().out
         assert "best =" in out
+
+    def test_profile_cgkgr_smoke(self, capsys):
+        code = main(
+            ["profile", "cg-kgr", "--dataset", "music", "--scale", "0.3",
+             "--steps", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Per-op table with the CG-KGR core ops and the accounting footer.
+        assert "einsum" in out
+        assert "gather_rows" in out
+        assert "accounted" in out
+
+    def test_profile_json_dump(self, tmp_path, capsys):
+        dest = tmp_path / "profile.json"
+        code = main(
+            ["profile", "bprmf", "--dataset", "music", "--scale", "0.3",
+             "--steps", "1", "--json", str(dest)]
+        )
+        assert code == 0
+        payload = json.loads(dest.read_text())
+        assert payload["ops"] and "wall_s" in payload
+
+    def test_train_trace_writes_jsonl(self, tmp_path, capsys):
+        dest = tmp_path / "trace.jsonl"
+        code = main(
+            ["train", "--dataset", "music", "--scale", "0.3", "--model",
+             "bprmf", "--epochs", "2", "--eval-users", "5",
+             "--trace", str(dest)]
+        )
+        assert code == 0
+        events = [json.loads(line) for line in dest.read_text().splitlines()]
+        assert events
+        runs = {e["run"] for e in events}
+        assert len(runs) == 1
+        names = {e["name"] for e in events}
+        assert {"fit", "epoch", "epoch_metrics"} <= names
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,415 @@
+"""Tests for the observability layer (repro.obs): tracing, metrics,
+autograd profiling, attention capture, and the trainer wiring."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.core import CGKGR
+from repro.core.config import CGKGRConfig
+from repro.obs import (
+    NULL_TRACER,
+    GuidanceAttentionRecorder,
+    LatencyHistogram,
+    MetricsRegistry,
+    Tracer,
+    capture_attention,
+    default_tracer,
+    profile,
+    set_default_tracer,
+)
+from repro.training import Trainer, TrainerConfig
+
+
+# ----------------------------------------------------------------------
+# Tracer / spans / JSONL
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_span_nesting_records_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("tick", value=1)
+        by_kind = {}
+        for e in tracer.events:
+            by_kind.setdefault((e["kind"], e["name"]), e)
+        outer_start = by_kind[("span_start", "outer")]
+        inner_start = by_kind[("span_start", "inner")]
+        event = by_kind[("event", "tick")]
+        assert inner_start["parent"] == outer_start["span"]
+        assert event["parent"] == inner_start["span"]
+        assert "parent" not in outer_start
+
+    def test_span_exception_safety(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        end = [e for e in tracer.events if e["kind"] == "span_end"][0]
+        assert end["ok"] is False
+        assert "kaput" in end["attrs"]["error"]
+        assert "dur" in end
+        # The stack unwound: a new span is again top-level.
+        with tracer.span("after"):
+            pass
+        start = [e for e in tracer.events if e["name"] == "after"][0]
+        assert "parent" not in start
+
+    def test_jsonl_roundtrip_every_event_carries_run_id(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path=str(path), run_id="testrun")
+        with tracer.span("phase", alpha=1):
+            tracer.event("point", value=np.float64(2.5))
+        tracer.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # span_start, event, span_end
+        events = [json.loads(line) for line in lines]
+        assert all(e["run"] == "testrun" for e in events)
+        assert all("ts" in e and "mono" in e for e in events)
+        point = [e for e in events if e["kind"] == "event"][0]
+        assert point["attrs"]["value"] == 2.5  # numpy scalar serialized
+
+    def test_span_set_attrs_land_on_end_event(self):
+        tracer = Tracer()
+        with tracer.span("epoch", epoch=1) as span:
+            span.set(loss=0.5)
+        end = [e for e in tracer.events if e["kind"] == "span_end"][0]
+        assert end["attrs"] == {"epoch": 1, "loss": 0.5}
+
+    def test_summary_aggregates_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("epoch"):
+                pass
+        summary = tracer.summary()
+        assert summary["epoch"]["count"] == 3
+        assert summary["epoch"]["total_s"] >= 0.0
+
+    def test_trace_decorator(self):
+        tracer = Tracer()
+
+        @tracer.trace("work")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        assert [e["name"] for e in tracer.events] == ["work", "work"]
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", x=1) as span:
+            span.set(y=2)
+        NULL_TRACER.event("nothing")
+        assert NULL_TRACER.summary() == {}
+        assert not NULL_TRACER.enabled
+
+    def test_default_tracer_install_and_reset(self):
+        tracer = Tracer()
+        set_default_tracer(tracer)
+        try:
+            assert default_tracer() is tracer
+        finally:
+            set_default_tracer(None)
+        assert default_tracer() is NULL_TRACER
+
+
+# ----------------------------------------------------------------------
+# Metrics (obs.metrics + serve backward compat)
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_serve_reexport_is_same_class(self):
+        from repro import serve
+        from repro.serve import metrics as serve_metrics
+
+        assert serve_metrics.MetricsRegistry is MetricsRegistry
+        assert serve_metrics.LatencyHistogram is LatencyHistogram
+        assert serve.MetricsRegistry is MetricsRegistry
+
+    def test_percentile_empty_window_returns_zero(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(-10) == 0.0
+        assert hist.summary()["p99"] == 0.0
+
+    def test_percentile_single_sample_returns_sample(self):
+        hist = LatencyHistogram()
+        hist.observe(0.25)
+        for q in (-5, 0, 50, 99, 150):
+            assert hist.percentile(q) == 0.25
+
+    def test_percentile_clamps_out_of_range_q(self):
+        hist = LatencyHistogram()
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.percentile(150) == 3.0
+        assert hist.percentile(-1) == 1.0
+
+    def test_gauges_snapshot_and_render(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("epoch_loss", 0.75)
+        assert registry.get_gauge("epoch_loss") == 0.75
+        assert registry.get_gauge("missing", -1.0) == -1.0
+        snap = registry.snapshot()
+        assert snap["gauges"] == {"epoch_loss": 0.75}
+        text = registry.render(prefix="repro_train")
+        assert "# TYPE repro_train_epoch_loss gauge" in text
+        assert "repro_train_epoch_loss 0.75" in text
+
+
+# ----------------------------------------------------------------------
+# Autograd profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_records_forward_and_backward(self):
+        with profile() as prof:
+            a = Tensor(np.ones((8, 8)), requires_grad=True)
+            b = ops.matmul(a, a)
+            c = ops.sum(b)
+            c.backward()
+        stats = prof.op_stats
+        assert stats["matmul"].calls == 1
+        # One backward fn per parent; matmul(a, a) registers two.
+        assert stats["matmul"].calls_bwd == 2
+        assert stats["matmul"].time_fwd > 0
+        assert stats["matmul"].peak_bytes == 8 * 8 * 8
+        assert prof.backward_calls == 1
+        assert prof.backward_walk_time > 0
+
+    def test_nested_ops_attributed_to_outermost(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        with profile() as prof:
+            ops.l2_norm_squared([t])  # internally calls mul + sum
+        assert prof.op_stats["l2_norm_squared"].calls == 1
+        assert "mul" not in prof.op_stats
+        assert "sum" not in prof.op_stats
+
+    def test_ops_and_backward_restored_after_exit(self):
+        original_add = ops.add
+        original_backward = Tensor.backward
+        with profile():
+            assert ops.add is not original_add
+        assert ops.add is original_add
+        assert Tensor.backward is original_backward
+
+    def test_patch_section_and_instance_restore(self):
+        class Thing:
+            def work(self):
+                return 7
+
+        thing = Thing()
+        with profile() as prof:
+            prof.patch(thing, "work", "thing.work")
+            assert thing.work() == 7
+        assert "work" not in vars(thing)  # shadow removed, class method back
+        assert thing.work() == 7
+        assert prof.sections["thing.work"][0] == 1
+
+    def test_report_on_tiny_cgkgr_step(self, tiny_dataset):
+        from repro.autograd.optim import Adam
+
+        cfg = CGKGRConfig(dim=8, depth=2, n_heads=2, kg_sample_size=3)
+        model = CGKGR(tiny_dataset, cfg, seed=0)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        users = tiny_dataset.train.users[:16]
+        items = tiny_dataset.train.items[:16]
+        with profile() as prof:
+            with prof.section("optimizer.step"):
+                pass  # placeholder so sections render
+            loss = model.loss(users, items, items)
+            loss.backward()
+            optimizer.step()
+        report = prof.report()
+        ops_seen = {row["op"] for row in report.rows}
+        # The attention/aggregation core of CG-KGR must be attributed.
+        assert "einsum" in ops_seen
+        assert "gather_rows" in ops_seen
+        assert "masked_softmax" in ops_seen
+        einsum_row = next(r for r in report.rows if r["op"] == "einsum")
+        assert einsum_row["calls"] > 0 and einsum_row["bwd_calls"] > 0
+        assert report.wall_s > 0
+        assert 0 < report.accounted_s
+        # The op table accounts for the bulk of the step (acceptance bar 90%
+        # holds for full profiled steps; a lone step with optimizer noise
+        # still lands well above half).
+        assert report.accounted_fraction > 0.5
+        text = report.render()
+        assert "einsum" in text and "accounted" in text
+        payload = report.to_json()
+        json.dumps(payload)  # must be serializable
+        assert payload["ops"][0]["total_s"] >= payload["ops"][-1]["total_s"]
+
+    def test_not_reentrant(self):
+        with profile() as prof:
+            with pytest.raises(RuntimeError):
+                prof.__enter__()
+
+
+# ----------------------------------------------------------------------
+# Attention capture (Fig. 5 made queryable)
+# ----------------------------------------------------------------------
+class TestAttentionCapture:
+    @pytest.fixture()
+    def model(self, tiny_dataset):
+        cfg = CGKGRConfig(dim=8, depth=2, n_heads=2, kg_sample_size=3)
+        return CGKGR(tiny_dataset, cfg, seed=0)
+
+    def test_capture_levels_and_shapes(self, model):
+        items = np.array([0, 1, 2], dtype=np.int64)
+        users = np.array([0, 1, 2], dtype=np.int64)
+        with capture_attention(model) as rec:
+            model.predict(users, items)
+        assert rec.levels() == [1, 2]
+        for record in rec.records:
+            assert record["weights"].shape == record["mask"].shape
+            # Weights normalize within each parent group (or vanish when
+            # the whole group is masked out).
+            k = model.config.kg_sample_size
+            grouped = record["weights"].reshape(len(items), -1, k).sum(axis=-1)
+            assert np.all((np.abs(grouped - 1.0) < 1e-8) | (grouped == 0.0))
+
+    def test_detaches_after_context(self, model):
+        users = np.array([0], dtype=np.int64)
+        items = np.array([1], dtype=np.int64)
+        with capture_attention(model) as rec:
+            model.predict(users, items)
+        captured = len(rec.records)
+        assert captured > 0
+        model.predict(users, items)
+        assert len(rec.records) == captured  # observer removed
+        assert model._attention_observers == []
+
+    def test_detaches_on_exception(self, model):
+        with pytest.raises(ValueError):
+            with capture_attention(model):
+                raise ValueError("interrupted")
+        assert model._attention_observers == []
+
+    def test_for_item_and_summary(self, model):
+        users = np.array([0, 1], dtype=np.int64)
+        items = np.array([3, 1], dtype=np.int64)
+        with capture_attention(model) as rec:
+            model.predict(users, items)
+        views = list(rec.for_item(3))
+        assert views and all(v["item"] == 3 for v in views)
+        summary = rec.summary()
+        for level in rec.levels():
+            assert summary[level]["rows"] > 0
+            assert summary[level]["mean_entropy"] >= 0.0
+
+    def test_to_jsonl_roundtrip(self, model, tmp_path):
+        users = np.array([0, 1], dtype=np.int64)
+        items = np.array([0, 2], dtype=np.int64)
+        with capture_attention(model) as rec:
+            model.predict(users, items)
+        path = tmp_path / "attn.jsonl"
+        written = rec.to_jsonl(str(path))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == written > 0
+        for line in lines:
+            assert set(line) == {
+                "level", "item", "entities", "relations", "mask", "weights"
+            }
+            assert len(line["weights"]) == len(line["entities"])
+
+    def test_max_records_cap(self, model):
+        users = np.array([0, 1, 2], dtype=np.int64)
+        items = np.array([0, 1, 2], dtype=np.int64)
+        rec = GuidanceAttentionRecorder(max_records=1)
+        with capture_attention(model, rec):
+            model.predict(users, items)
+        assert len(rec.records) == 1
+        assert rec.dropped > 0
+
+
+# ----------------------------------------------------------------------
+# Trainer telemetry
+# ----------------------------------------------------------------------
+class TestTrainerTelemetry:
+    def _fit(self, dataset, tracer=None, **overrides):
+        cfg = CGKGRConfig(dim=8, depth=1, n_heads=2, kg_sample_size=2)
+        model = CGKGR(dataset, cfg, seed=0)
+        kwargs = dict(
+            epochs=3, eval_task="topk", eval_metric="recall@10", eval_k=10,
+            eval_max_users=5, tracer=tracer,
+        )
+        kwargs.update(overrides)
+        config = TrainerConfig(**kwargs)
+        trainer = Trainer(model, config)
+        return trainer, trainer.fit()
+
+    def test_epoch_spans_match_time_per_epoch(self, tiny_dataset):
+        tracer = Tracer()
+        _, result = self._fit(tiny_dataset, tracer=tracer)
+        epoch_ends = [
+            e for e in tracer.events
+            if e["kind"] == "span_end" and e["name"] == "epoch"
+        ]
+        assert len(epoch_ends) == len(result.history)
+        span_sum = sum(e["dur"] for e in epoch_ends)
+        reported = result.time_per_epoch * len(epoch_ends)
+        assert span_sum == pytest.approx(reported, rel=0.10)
+
+    def test_epoch_span_attrs_and_events(self, tiny_dataset):
+        tracer = Tracer()
+        _, result = self._fit(tiny_dataset, tracer=tracer)
+        end = [
+            e for e in tracer.events
+            if e["kind"] == "span_end" and e["name"] == "epoch"
+        ][0]
+        assert end["attrs"]["examples_per_sec"] > 0
+        assert end["attrs"]["grad_norm"] > 0
+        assert end["attrs"]["loss"] > 0
+        metrics_events = [e for e in tracer.events if e["name"] == "epoch_metrics"]
+        assert len(metrics_events) == len(result.history)
+        assert "recall@10" in metrics_events[0]["attrs"]
+        assert "epochs_since_best" in metrics_events[0]["attrs"]
+        fit_end = [
+            e for e in tracer.events
+            if e["kind"] == "span_end" and e["name"] == "fit"
+        ][0]
+        assert fit_end["attrs"]["best_epoch"] == result.best_epoch
+
+    def test_early_stop_event(self, tiny_dataset):
+        tracer = Tracer()
+        _, result = self._fit(
+            tiny_dataset, tracer=tracer, early_stop_patience=1, epochs=12,
+        )
+        if result.stopped_early:
+            stops = [e for e in tracer.events if e["name"] == "early_stop"]
+            assert len(stops) == 1
+            assert stops[0]["attrs"]["best_epoch"] == result.best_epoch
+
+    def test_untraced_run_skips_grad_norms(self, tiny_dataset):
+        trainer, result = self._fit(tiny_dataset, tracer=None)
+        assert trainer.tracer is NULL_TRACER
+        assert "grad_norm" not in trainer.last_epoch_stats
+        assert len(result.history) == 3
+
+    def test_verbose_goes_through_logging(self, tiny_dataset, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.training"):
+            self._fit(tiny_dataset, verbose=True)
+        lines = [r.message for r in caplog.records]
+        assert any("loss=" in line and "[CG-KGR]" in line for line in lines)
+
+    def test_custom_logger_threaded_through_config(self, tiny_dataset):
+        records = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record.getMessage())
+
+        logger = logging.getLogger("repro.test.capture")
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+        handler = _Capture()
+        logger.addHandler(handler)
+        try:
+            self._fit(tiny_dataset, verbose=True, logger=logger)
+        finally:
+            logger.removeHandler(handler)
+        assert any("loss=" in line for line in records)
