@@ -25,7 +25,7 @@ from repro.baselines import BPRMF
 from repro.data import generate_profile
 from repro.eval.ranking import build_mask_table
 from repro.serve import ServingEngine, TopKIndex, topk_from_scores
-from repro.serve.metrics import LatencyHistogram
+from repro.obs.metrics import LatencyHistogram
 from repro.training import Trainer, TrainerConfig
 from repro.utils import format_table
 
@@ -72,11 +72,21 @@ def _bench_model(name: str, model, dataset, users: np.ndarray) -> list:
     cached = ServingEngine(index, model=model, cache_size=4096)
 
     rows = []
-    for label, summary in (
-        ("naive full scoring", _replay(naive, users)),
-        ("index (no cache)", _replay(lambda u: uncached.recommend(u, K), users)),
-        ("index + LRU cache", _replay(lambda u: cached.recommend(u, K), users)),
+    for label, key, summary in (
+        ("naive full scoring", "naive", _replay(naive, users)),
+        ("index (no cache)", "index",
+         _replay(lambda u: uncached.recommend(u, K), users)),
+        ("index + LRU cache", "index_cache",
+         _replay(lambda u: cached.recommend(u, K), users)),
     ):
+        harness.record_bench_metrics(
+            "serving",
+            {
+                f"{name}/{key}/qps": summary["qps"],
+                f"{name}/{key}/p50_ms": 1e3 * summary["p50"],
+                f"{name}/{key}/p95_ms": 1e3 * summary["p95"],
+            },
+        )
         rows.append(
             [
                 f"{name} · {label}",

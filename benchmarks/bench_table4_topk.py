@@ -22,6 +22,15 @@ def run() -> str:
                     harness.mean_std(comparison.values(model, "ndcg@20")),
                 ]
             )
+        harness.record_bench_metrics(
+            "topk",
+            {
+                f"{dataset}/CG-KGR/recall@20":
+                    comparison.values("CG-KGR", "recall@20").tolist(),
+                f"{dataset}/CG-KGR/ndcg@20":
+                    comparison.values("CG-KGR", "ndcg@20").tolist(),
+            },
+        )
         report = comparison.significance("recall@20")
         star = "*" if report["significant"] else ""
         rows.append(

@@ -17,6 +17,15 @@ def run() -> str:
                     harness.mean_std(comparison.values(model, "f1")),
                 ]
             )
+        harness.record_bench_metrics(
+            "ctr",
+            {
+                f"{dataset}/CG-KGR/auc":
+                    comparison.values("CG-KGR", "auc").tolist(),
+                f"{dataset}/CG-KGR/f1":
+                    comparison.values("CG-KGR", "f1").tolist(),
+            },
+        )
         report = comparison.significance("auc")
         star = "*" if report["significant"] else ""
         rows.append(

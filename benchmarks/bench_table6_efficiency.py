@@ -13,6 +13,11 @@ def run() -> str:
         for model in harness.MODEL_ORDER:
             per_epoch, best_epoch = comparison.timing(model)
             rows.append([model, f"{per_epoch:.3f}", f"{best_epoch:.1f}"])
+            if model == "CG-KGR":
+                harness.record_bench_metrics(
+                    "efficiency",
+                    {f"{dataset}/CG-KGR/t_per_epoch_s": per_epoch},
+                )
         blocks.append(
             format_table(
                 ["Model", "t̄ (s/epoch)", "b̄e (epochs)"],

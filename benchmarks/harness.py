@@ -137,6 +137,29 @@ def save_result(name: str, text: str) -> None:
     print(text)
 
 
+# ----------------------------------------------------------------------
+# Machine-readable bench metrics. Benches publish headline numbers keyed
+# by trajectory category ("topk", "ctr", "serving", "efficiency") while
+# formatting their text output; run_all.py drains them into the repo-root
+# BENCH_<category>.json trajectory files and the run registry, which is
+# what the regression sentinel compares across runs (docs/runs.md).
+# Values may be per-trial lists — the sentinel bootstraps those.
+# ----------------------------------------------------------------------
+_BENCH_METRICS: Dict[str, Dict[str, object]] = {}
+
+
+def record_bench_metrics(category: str, metrics: Dict[str, object]) -> None:
+    """Merge headline metrics into the named trajectory category."""
+    _BENCH_METRICS.setdefault(category, {}).update(metrics)
+
+
+def pop_bench_metrics() -> Dict[str, Dict[str, object]]:
+    """Drain everything recorded since the last drain."""
+    global _BENCH_METRICS
+    out, _BENCH_METRICS = _BENCH_METRICS, {}
+    return out
+
+
 def pct(x: float) -> str:
     """Render a [0,1] metric as a percentage with paper-style precision."""
     return f"{100.0 * x:.2f}"

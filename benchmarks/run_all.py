@@ -4,21 +4,40 @@ Usage::
 
     python benchmarks/run_all.py                 # full run (slow)
     REPRO_SEEDS=1 REPRO_EPOCHS=8 python benchmarks/run_all.py   # smoke
+    python benchmarks/run_all.py --only table4_topk,table5_ctr  # subset
 
 Each bench's formatted output is written to ``benchmarks/results/`` and
 stitched, together with the paper's reference numbers, into
 ``EXPERIMENTS.md`` at the repository root.  A machine-readable
-``benchmarks/results/run_meta.json`` records per-bench wall time and a
-span summary (the structured events also land in
+``benchmarks/results/run_meta.json`` records per-bench wall time, a span
+summary, and any bench failures (the structured events also land in
 ``benchmarks/results/trace.jsonl``; see docs/observability.md).
+
+Cross-run observability (docs/runs.md):
+
+* one ``bench`` run is recorded into the run registry (``runs/`` at the
+  repo root, or ``$REPRO_RUNS_DIR``) per invocation — env, scale knobs,
+  headline metrics, failures, span summary;
+* every bench that publishes headline metrics appends one entry to the
+  repo-root trajectory files ``BENCH_topk.json`` / ``BENCH_ctr.json`` /
+  ``BENCH_serving.json`` / ``BENCH_efficiency.json``, so the perf
+  history accumulates and ``repro runs check`` can gate regressions;
+* a failing bench no longer aborts the suite: the failure is recorded
+  and the process exits non-zero at the end.
+
+With ``--only`` the (partial) results are NOT stitched into
+``EXPERIMENTS_RESULTS.md`` — trajectories and the registry still update.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import json
+import os
 import sys
 import time
+import traceback
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -41,39 +60,170 @@ BENCHES = [
     ("serving_latency", "benchmarks.bench_serving_latency", "Infrastructure", "Serving QPS/latency: index + cache vs naive scoring"),
 ]
 
+#: Trajectory categories (harness.record_bench_metrics keys) and their
+#: repo-root accumulation files.
+TRAJECTORY_FILES = {
+    "topk": "BENCH_topk.json",
+    "ctr": "BENCH_ctr.json",
+    "serving": "BENCH_serving.json",
+    "efficiency": "BENCH_efficiency.json",
+}
 
-def main() -> None:
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description="run the benchmark suite")
+    parser.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="comma list of bench names to run (skips EXPERIMENTS_RESULTS.md)",
+    )
+    parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run registry root (default $REPRO_RUNS_DIR or <repo>/runs)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
     from benchmarks import harness
     from repro.obs import Tracer, set_default_tracer
+
+    benches = BENCHES
+    if args.only:
+        chosen = {name.strip() for name in args.only.split(",") if name.strip()}
+        unknown = chosen - {name for name, *_ in BENCHES}
+        if unknown:
+            raise SystemExit(f"unknown bench names in --only: {sorted(unknown)}")
+        benches = [b for b in BENCHES if b[0] in chosen]
 
     harness.RESULTS_DIR.mkdir(exist_ok=True)
     tracer = Tracer(path=str(harness.RESULTS_DIR / "trace.jsonl"))
     set_default_tracer(tracer)
+    suite_start = time.perf_counter()
 
     sections = []
-    for name, module_name, paper_id, description in BENCHES:
-        module = importlib.import_module(module_name)
+    failures = []
+    trajectories = {}
+    for name, module_name, paper_id, description in benches:
         print(f"=== {paper_id}: {description} ===", flush=True)
         tick = time.perf_counter()
-        with tracer.span(f"bench:{name}", paper_id=paper_id):
-            output = module.run()
+        try:
+            module = importlib.import_module(module_name)
+            with tracer.span(f"bench:{name}", paper_id=paper_id):
+                output = module.run()
+        except Exception as exc:
+            # Record the failure and keep the suite going: one broken
+            # bench must not discard hours of completed results.
+            elapsed = time.perf_counter() - tick
+            snippet = traceback.format_exc().strip().splitlines()[-8:]
+            failure = {
+                "name": name,
+                "paper_id": paper_id,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": snippet,
+                "seconds": elapsed,
+            }
+            failures.append(failure)
+            tracer.event(
+                "bench_failure", bench=name, error=failure["error"],
+            )
+            print(f"!!! {name} FAILED after {elapsed:.0f}s: {failure['error']}\n",
+                  flush=True)
+            continue
         elapsed = time.perf_counter() - tick
+        for category, metrics in harness.pop_bench_metrics().items():
+            trajectories.setdefault(category, {}).update(metrics)
         harness.save_result(name, output)
         sections.append((paper_id, description, output, elapsed))
         print(f"--- done in {elapsed:.0f}s ---\n", flush=True)
 
-    assemble_experiments_md(sections)
-    write_run_meta(sections, tracer)
+    if not args.only:
+        assemble_experiments_md(sections)
+    run_id = record_registry_run(
+        args, sections, failures, trajectories, tracer,
+        time.perf_counter() - suite_start,
+    )
+    append_trajectories(run_id, trajectories)
+    write_run_meta(sections, tracer, failures, run_id)
     set_default_tracer(None)
     tracer.close()
+    if failures:
+        print(f"{len(failures)} bench(es) failed: "
+              + ", ".join(f["name"] for f in failures))
+        return 1
+    return 0
 
 
-def write_run_meta(sections, tracer) -> None:
+def runs_dir(args) -> str:
+    """Registry root: --runs-dir, $REPRO_RUNS_DIR, or <repo>/runs."""
+    return args.runs_dir or os.environ.get("REPRO_RUNS_DIR") or str(ROOT / "runs")
+
+
+def record_registry_run(
+    args, sections, failures, trajectories, tracer, wall_time
+) -> str:
+    """Persist this suite invocation as one ``bench`` run (docs/runs.md)."""
+    from benchmarks import harness
+    from repro.obs import RunRecord, RunStore
+    from repro.obs.runs import capture_env
+
+    metrics = {
+        f"{category}/{name}": value
+        for category, per_category in sorted(trajectories.items())
+        for name, value in sorted(per_category.items())
+    }
+    record = RunRecord(
+        run_id=tracer.run_id,
+        kind="bench",
+        dataset=",".join(harness.datasets()),
+        config={
+            "scale": {
+                "seeds": harness.n_seeds(),
+                "epochs": harness.n_epochs(),
+                "patience": harness.patience(),
+                "eval_users": harness.eval_users(),
+            },
+            "benches": [s[0] for s in sections] + [f["paper_id"] for f in failures],
+        },
+        env=capture_env(),
+        metrics=metrics,
+        wall_time_s=wall_time,
+        spans=tracer.summary(),
+        failures=failures,
+        notes="benchmarks/run_all.py" + (f" --only {args.only}" if args.only else ""),
+    )
+    store = RunStore(runs_dir(args))
+    path = store.save(record)
+    print(f"recorded bench run {record.run_id} at {path}")
+    return record.run_id
+
+
+def append_trajectories(run_id: str, trajectories) -> None:
+    """Accumulate headline metrics into the repo-root BENCH_*.json files."""
+    from benchmarks import harness
+    from repro.obs import append_trajectory
+
+    scale = {
+        "seeds": harness.n_seeds(),
+        "epochs": harness.n_epochs(),
+        "patience": harness.patience(),
+        "eval_users": harness.eval_users(),
+    }
+    for category, metrics in sorted(trajectories.items()):
+        filename = TRAJECTORY_FILES.get(category, f"BENCH_{category}.json")
+        path = ROOT / filename
+        length = append_trajectory(
+            path, {"run_id": run_id, "scale": scale, "metrics": metrics}
+        )
+        print(f"appended to {path} ({length} entries)")
+
+
+def write_run_meta(sections, tracer, failures, run_id) -> None:
     """Persist per-bench wall time + span summary for tooling/CI."""
     from benchmarks import harness
 
     meta = {
-        "run_id": tracer.run_id,
+        "run_id": run_id,
         "scale": {
             "seeds": harness.n_seeds(),
             "epochs": harness.n_epochs(),
@@ -85,6 +235,7 @@ def write_run_meta(sections, tracer) -> None:
             {"paper_id": paper_id, "description": description, "seconds": elapsed}
             for paper_id, description, _, elapsed in sections
         ],
+        "failures": failures,
         "spans": tracer.summary(),
     }
     path = harness.RESULTS_DIR / "run_meta.json"
@@ -116,4 +267,4 @@ def assemble_experiments_md(sections) -> None:
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro export --dataset music --model cg-kgr --out ckpt/
     python -m repro serve --checkpoint ckpt/ --port 8080
     python -m repro profile cg-kgr --dataset music --steps 3
+    python -m repro runs list
+    python -m repro runs check --baseline <run-or-file>
 
 ``train`` reports Top-K and CTR metrics on the test split; ``compare``
 runs the paired multi-seed protocol and prints a Table IV-style block;
@@ -18,7 +20,11 @@ HTTP recommendation server from one (see docs/serving.md); ``profile``
 runs instrumented training steps and prints the per-op autograd profile
 (see docs/observability.md).  ``train``/``export``/``serve`` accept
 ``--trace PATH`` (alias ``--log-jsonl``) to write structured span/event
-telemetry as JSONL.
+telemetry as JSONL.  ``runs`` inspects the persistent run registry:
+``list``/``show``, ``compare A B``, the CI regression gate ``check
+--baseline <ref>`` (exit 1 on regression), and ``report [--html]`` with
+sparkline training curves (see docs/runs.md).  ``train`` and ``export``
+accept ``--record`` to persist the fit into the registry.
 """
 
 from __future__ import annotations
@@ -112,6 +118,21 @@ def _configure_verbose_logging(args) -> None:
         logging.basicConfig(level=logging.INFO, format="%(message)s", stream=sys.stdout)
 
 
+def _make_run_store(args):
+    """Build a RunStore from ``--record`` / ``--runs-dir`` (else None)."""
+    if not getattr(args, "record", False):
+        return None
+    from repro.obs import RunStore
+
+    return RunStore(getattr(args, "runs_dir", None))
+
+
+def _report_recorded_run(trainer) -> None:
+    record = trainer.last_run_record
+    if record is not None:
+        print(f"recorded run {record.run_id} (config {record.config_hash})")
+
+
 def cmd_train(args) -> int:
     dataset = _load_dataset(args)
     model = _make_model(args.model, dataset, args.seed)
@@ -130,10 +151,12 @@ def cmd_train(args) -> int:
             verbose=args.verbose,
             seed=args.seed,
             tracer=tracer,
+            run_store=_make_run_store(args),
         ),
     )
     fit = trainer.fit()
     _close_tracer(tracer)
+    _report_recorded_run(trainer)
     print(
         f"best epoch {fit.best_epoch} (val recall@{args.k} = {fit.best_metric:.4f}), "
         f"{fit.time_per_epoch:.2f}s/epoch"
@@ -220,10 +243,12 @@ def cmd_export(args) -> int:
             verbose=args.verbose,
             seed=args.seed,
             tracer=tracer,
+            run_store=_make_run_store(args),
         ),
     )
     fit = trainer.fit()
     _close_tracer(tracer)
+    _report_recorded_run(trainer)
     if getattr(args, "data_dir", None):
         dataset_spec = {"data_dir": args.data_dir, "seed": args.seed}
     else:
@@ -350,6 +375,107 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _runs_store(args):
+    from repro.obs import RunStore
+
+    return RunStore(args.runs_dir)
+
+
+def _parse_tolerances(specs: List[str]):
+    """``metric=rel`` or ``metric=rel:abs`` overrides for the sentinel."""
+    from repro.obs import Tolerance
+
+    tolerances = {}
+    for spec in specs or []:
+        try:
+            metric, raw = spec.split("=", 1)
+            parts = raw.split(":")
+            rel = float(parts[0])
+            abs_tol = float(parts[1]) if len(parts) > 1 else 0.0
+        except (ValueError, IndexError):
+            raise SystemExit(
+                f"bad --tolerance {spec!r}; expected metric=rel or metric=rel:abs"
+            )
+        tolerances[metric] = Tolerance(rel=rel, abs=abs_tol)
+    return tolerances
+
+
+def cmd_runs_list(args) -> int:
+    from repro.obs.report import run_table
+
+    entries = _runs_store(args).list(kind=args.kind)
+    if not entries:
+        print(f"no runs recorded under {_runs_store(args).root}")
+        return 0
+    print(run_table(entries))
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    import json
+
+    record = _runs_store(args).resolve(args.ref)
+    print(json.dumps(record.to_json(), indent=1))
+    return 0
+
+
+def cmd_runs_compare(args) -> int:
+    from repro.obs import compare_runs
+
+    store = _runs_store(args)
+    report = compare_runs(
+        store.resolve(args.baseline),
+        store.resolve(args.run),
+        tolerances=_parse_tolerances(args.tolerance),
+    )
+    print(report.render())
+    return 1 if report.regressed else 0
+
+
+def cmd_runs_check(args) -> int:
+    """CI regression gate: exit 1 when any metric regressed vs baseline."""
+    import json
+
+    from repro.obs import compare_runs
+
+    store = _runs_store(args)
+    baseline = store.resolve(args.baseline, kind=args.kind)
+    current = store.resolve(args.run, kind=args.kind)
+    report = compare_runs(
+        baseline, current, tolerances=_parse_tolerances(args.tolerance)
+    )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=1)
+        print(f"wrote sentinel report to {args.json}")
+    if report.regressed:
+        for verdict in report.regressions():
+            print(
+                f"REGRESSION: {verdict.metric} {verdict.baseline:.4g} -> "
+                f"{verdict.current:.4g} ({100 * verdict.rel_delta:+.1f}%)"
+            )
+        return 1
+    return 0
+
+
+def cmd_runs_report(args) -> int:
+    from repro.obs.report import html_report, run_table
+
+    store = _runs_store(args)
+    entries = store.list()
+    if not entries:
+        print(f"no runs recorded under {store.root}")
+        return 0
+    print(run_table(entries[-args.limit :]))
+    if args.html:
+        content = html_report(store, limit=args.limit)
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        print(f"wrote HTML report to {args.html}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -374,6 +500,14 @@ def build_parser() -> argparse.ArgumentParser:
     train_common.add_argument(
         "--trace", "--log-jsonl", dest="trace", metavar="PATH", default=None,
         help="write obs span/event telemetry as JSONL to PATH",
+    )
+    train_common.add_argument(
+        "--record", action="store_true",
+        help="persist this fit into the run registry (docs/runs.md)",
+    )
+    train_common.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run registry root (default $REPRO_RUNS_DIR or ./runs)",
     )
 
     p = sub.add_parser("train", parents=[train_common], help="train one model")
@@ -420,6 +554,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the report as JSON to PATH")
     p.set_defaults(func=cmd_profile)
+
+    runs = sub.add_parser(
+        "runs", help="inspect and gate on the run registry (docs/runs.md)"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_common = argparse.ArgumentParser(add_help=False)
+    runs_common.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run registry root (default $REPRO_RUNS_DIR or ./runs)",
+    )
+
+    p = runs_sub.add_parser("list", parents=[runs_common], help="list recorded runs")
+    p.add_argument("--kind", default=None, choices=["train", "bench"])
+    p.set_defaults(func=cmd_runs_list)
+
+    p = runs_sub.add_parser("show", parents=[runs_common], help="dump one run as JSON")
+    p.add_argument("ref", help="run id, unique prefix, latest[~N], or a JSON path")
+    p.set_defaults(func=cmd_runs_show)
+
+    p = runs_sub.add_parser(
+        "compare", parents=[runs_common],
+        help="sentinel comparison of two runs (exit 1 on regression)",
+    )
+    p.add_argument("baseline", help="baseline run ref")
+    p.add_argument("run", help="candidate run ref")
+    p.add_argument("--tolerance", action="append", metavar="METRIC=REL[:ABS]",
+                   help="override a per-metric tolerance")
+    p.set_defaults(func=cmd_runs_compare)
+
+    p = runs_sub.add_parser(
+        "check", parents=[runs_common],
+        help="CI regression gate vs a baseline run or committed JSON",
+    )
+    p.add_argument("--baseline", required=True,
+                   help="baseline run ref or path to a committed run JSON")
+    p.add_argument("--run", default="latest",
+                   help="candidate run ref (default: latest)")
+    p.add_argument("--kind", default=None, choices=["train", "bench"],
+                   help="restrict latest-resolution to one run kind")
+    p.add_argument("--tolerance", action="append", metavar="METRIC=REL[:ABS]",
+                   help="override a per-metric tolerance")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the sentinel verdicts as JSON")
+    p.set_defaults(func=cmd_runs_check)
+
+    p = runs_sub.add_parser(
+        "report", parents=[runs_common],
+        help="run table + optional HTML report with sparkline curves",
+    )
+    p.add_argument("--limit", type=int, default=20, help="newest N runs")
+    p.add_argument("--html", default=None, metavar="PATH",
+                   help="write a single-file HTML report to PATH")
+    p.set_defaults(func=cmd_runs_report)
 
     return parser
 

@@ -11,7 +11,7 @@ from repro.eval.ranking import (
     recall_at_k,
 )
 from repro.eval.ctr import auc_score, evaluate_ctr, f1_score
-from repro.eval.significance import wilcoxon_improvement
+from repro.eval.significance import bootstrap_mean_diff, wilcoxon_improvement
 
 __all__ = [
     "recall_at_k",
@@ -23,4 +23,5 @@ __all__ = [
     "f1_score",
     "evaluate_ctr",
     "wilcoxon_improvement",
+    "bootstrap_mean_diff",
 ]

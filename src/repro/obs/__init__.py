@@ -1,17 +1,28 @@
-"""Unified observability: tracing, metrics, profiling, introspection.
+"""Unified observability: tracing, metrics, profiling, introspection,
+and the cross-run layer (registry, sentinel, health).
 
-Four pillars, shared by training, evaluation, benchmarking, and serving
-(see ``docs/observability.md``):
+Pillars, shared by training, evaluation, benchmarking, and serving
+(see ``docs/observability.md`` and ``docs/runs.md``):
 
 * :mod:`repro.obs.events` — structured JSONL event log with nested spans
   (:class:`Tracer`, :data:`NULL_TRACER`, process default for benches);
 * :mod:`repro.obs.metrics` — counters / gauges / latency histograms
-  (:class:`MetricsRegistry`, re-exported by :mod:`repro.serve` for
-  backward compatibility);
+  (:class:`MetricsRegistry`; the old ``repro.serve.metrics`` path is a
+  deprecated shim);
 * :mod:`repro.obs.profiler` — autograd per-op forward/backward profiler
   (:func:`profile`), surfaced as ``repro profile`` on the CLI;
 * :mod:`repro.obs.hooks` — CG-KGR guidance-attention capture
-  (:func:`capture_attention`), Fig. 5 made queryable.
+  (:func:`capture_attention`), Fig. 5 made queryable;
+* :mod:`repro.obs.runs` — persistent experiment-run registry
+  (:class:`RunStore` / :class:`RunRecord`), fed by ``Trainer.fit`` and
+  ``benchmarks/run_all.py``;
+* :mod:`repro.obs.sentinel` — tolerance-gated regression comparison and
+  the repo-root ``BENCH_*.json`` trajectory files;
+* :mod:`repro.obs.health` — training-health monitor emitting structured
+  ``anomaly`` events (:class:`HealthMonitor`,
+  :class:`NonFiniteLossError`);
+* :mod:`repro.obs.report` — run tables, SVG sparklines, HTML reports
+  (``repro runs report``).
 """
 
 from repro.obs.events import (
@@ -21,9 +32,25 @@ from repro.obs.events import (
     default_tracer,
     set_default_tracer,
 )
+from repro.obs.health import (
+    HealthConfig,
+    HealthMonitor,
+    NonFiniteLossError,
+    TrainingHealthError,
+)
 from repro.obs.hooks import GuidanceAttentionRecorder, capture_attention
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.obs.profiler import Profiler, ProfileReport, profile
+from repro.obs.runs import RunRecord, RunStore
+from repro.obs.sentinel import (
+    DEFAULT_TOLERANCES,
+    SentinelReport,
+    Tolerance,
+    append_trajectory,
+    compare_metrics,
+    compare_runs,
+    load_trajectory,
+)
 
 __all__ = [
     "Tracer",
@@ -38,4 +65,17 @@ __all__ = [
     "profile",
     "GuidanceAttentionRecorder",
     "capture_attention",
+    "RunStore",
+    "RunRecord",
+    "HealthMonitor",
+    "HealthConfig",
+    "NonFiniteLossError",
+    "TrainingHealthError",
+    "Tolerance",
+    "DEFAULT_TOLERANCES",
+    "SentinelReport",
+    "compare_metrics",
+    "compare_runs",
+    "append_trajectory",
+    "load_trajectory",
 ]

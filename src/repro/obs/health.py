@@ -1,0 +1,232 @@
+"""Training-health monitor: structured anomaly detection for ``fit``.
+
+The :class:`HealthMonitor` watches a training run through cheap hooks the
+:class:`~repro.training.trainer.Trainer` calls anyway — per batch, per
+epoch, per eval — and emits structured ``anomaly`` events through the
+run's tracer whenever something looks pathological:
+
+* ``nonfinite_loss``     — NaN/inf batch loss (always fatal: the trainer
+  raises :class:`NonFiniteLossError` with epoch/batch context);
+* ``grad_explosion``     — batch gradient norm above a threshold
+  (rate-limited to one event per epoch);
+* ``grad_vanishing``     — epoch-mean gradient norm below a floor;
+* ``dead_embeddings``    — embedding-table rows whose L2 norm is ~0 at
+  the end of training (untrained ids, bad init, or over-regularization);
+* ``eval_plateau``       — validation metric flat or declining for
+  ``plateau_patience`` consecutive evals.
+
+Gradient-based checks only run when gradient norms are being measured
+(tracing enabled, or ``HealthConfig.track_grads=True``), keeping the
+untraced hot path unchanged.  Kinds listed in ``HealthConfig.abort_on``
+abort the run with a :class:`TrainingHealthError` carrying a one-line
+diagnosis plus every anomaly observed so far.  All anomalies also land in
+the :class:`~repro.obs.runs.RunRecord` when a run store is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.events import NULL_TRACER
+
+__all__ = [
+    "HealthConfig",
+    "HealthMonitor",
+    "NonFiniteLossError",
+    "TrainingHealthError",
+]
+
+
+class NonFiniteLossError(RuntimeError):
+    """NaN/inf training loss, with the context needed to reproduce it."""
+
+    def __init__(self, model: str, loss: float, epoch: int, batch_start: int):
+        self.model = model
+        self.loss = float(loss)
+        self.epoch = int(epoch)
+        self.batch_start = int(batch_start)
+        super().__init__(
+            f"{model}: non-finite loss ({loss}) at epoch {epoch}, batch "
+            f"starting {batch_start} — check learning rate and initialization"
+        )
+
+
+class TrainingHealthError(RuntimeError):
+    """Run aborted by the health monitor; carries a diagnosis."""
+
+    def __init__(self, diagnosis: str, anomalies: List[Dict[str, Any]]):
+        self.diagnosis = diagnosis
+        self.anomalies = list(anomalies)
+        super().__init__(diagnosis)
+
+
+@dataclass
+class HealthConfig:
+    """Thresholds of the monitor's detectors."""
+
+    #: Batch grad norm above this is an explosion.
+    grad_explode: float = 1e3
+    #: Epoch-mean grad norm below this is vanishing.
+    grad_vanish: float = 1e-8
+    #: Consecutive non-improving evals before an ``eval_plateau`` anomaly.
+    plateau_patience: int = 8
+    #: Embedding rows with L2 norm below this count as dead.
+    dead_row_tol: float = 1e-10
+    #: Fraction of dead rows in one table that triggers the anomaly.
+    dead_row_fraction: float = 0.05
+    #: Force per-batch grad-norm measurement even without a tracer.
+    track_grads: bool = False
+    #: Anomaly kinds that abort the run via :class:`TrainingHealthError`
+    #: (``nonfinite_loss`` is always fatal regardless of this list).
+    abort_on: Tuple[str, ...] = ()
+
+
+class HealthMonitor:
+    """Collects anomalies and mirrors them as tracer ``anomaly`` events."""
+
+    def __init__(self, config: Optional[HealthConfig] = None, tracer=None):
+        self.config = config or HealthConfig()
+        self.tracer = tracer
+        self.anomalies: List[Dict[str, Any]] = []
+        self._explosion_epochs: set = set()
+        self._plateau_count = 0
+        self._plateau_reported = False
+        self._best_eval = float("-inf")
+
+    # ------------------------------------------------------------------
+    def bind(self, tracer) -> "HealthMonitor":
+        """Attach the trainer's tracer (kept if one was set explicitly)."""
+        if self.tracer is None:
+            self.tracer = tracer
+        return self
+
+    @property
+    def wants_grad_norms(self) -> bool:
+        return self.config.track_grads
+
+    def record(self, kind: str, **context: Any) -> Dict[str, Any]:
+        """Append one anomaly and emit it as a structured tracer event."""
+        anomaly = {"kind": kind, **context}
+        self.anomalies.append(anomaly)
+        (self.tracer or NULL_TRACER).event("anomaly", **anomaly)
+        if kind in self.config.abort_on:
+            raise TrainingHealthError(self.diagnosis(), self.anomalies)
+        return anomaly
+
+    # ------------------------------------------------------------------
+    # Hooks called by Trainer
+    # ------------------------------------------------------------------
+    def nonfinite_loss(
+        self, model: str, loss: float, epoch: int, batch_start: int
+    ) -> NonFiniteLossError:
+        """Record the anomaly and build the exception the trainer raises."""
+        self.record(
+            "nonfinite_loss",
+            model=model,
+            loss=float(loss),
+            epoch=epoch,
+            batch_start=batch_start,
+        )
+        return NonFiniteLossError(model, loss, epoch, batch_start)
+
+    def observe_batch(
+        self,
+        epoch: int,
+        batch_start: int,
+        loss: float,
+        grad_norm: Optional[float] = None,
+    ) -> None:
+        if grad_norm is None:
+            return
+        if not np.isfinite(grad_norm) or grad_norm > self.config.grad_explode:
+            # One event per epoch: a diverging run would otherwise flood
+            # the trace with thousands of identical anomalies.
+            if epoch not in self._explosion_epochs:
+                self._explosion_epochs.add(epoch)
+                self.record(
+                    "grad_explosion",
+                    epoch=epoch,
+                    batch_start=batch_start,
+                    grad_norm=float(grad_norm),
+                    loss=float(loss),
+                    threshold=self.config.grad_explode,
+                )
+
+    def observe_epoch(
+        self, epoch: int, mean_loss: float, mean_grad_norm: Optional[float] = None
+    ) -> None:
+        if (
+            mean_grad_norm is not None
+            and np.isfinite(mean_grad_norm)
+            and mean_grad_norm < self.config.grad_vanish
+        ):
+            self.record(
+                "grad_vanishing",
+                epoch=epoch,
+                grad_norm=float(mean_grad_norm),
+                loss=float(mean_loss),
+                threshold=self.config.grad_vanish,
+            )
+
+    def observe_eval(self, epoch: int, metric: str, value: float) -> None:
+        if value > self._best_eval:
+            self._best_eval = value
+            self._plateau_count = 0
+            self._plateau_reported = False
+            return
+        self._plateau_count += 1
+        if (
+            self._plateau_count >= self.config.plateau_patience
+            and not self._plateau_reported
+        ):
+            self._plateau_reported = True
+            self.record(
+                "eval_plateau",
+                epoch=epoch,
+                metric=metric,
+                best=float(self._best_eval),
+                value=float(value),
+                evals_since_best=self._plateau_count,
+            )
+
+    def check_embeddings(self, model) -> None:
+        """Flag embedding tables with a meaningful fraction of ~zero rows.
+
+        Runs once at the end of ``fit`` (O(|Θ|)); only 2-D parameters with
+        more rows than columns are treated as lookup tables.
+        """
+        for name, param in model.named_parameters():
+            data = param.data
+            if data.ndim != 2 or data.shape[0] <= data.shape[1]:
+                continue
+            row_norms = np.sqrt(np.sum(data * data, axis=1))
+            dead = int(np.count_nonzero(row_norms < self.config.dead_row_tol))
+            if dead and dead >= self.config.dead_row_fraction * data.shape[0]:
+                self.record(
+                    "dead_embeddings",
+                    parameter=name,
+                    dead_rows=dead,
+                    total_rows=int(data.shape[0]),
+                    fraction=dead / data.shape[0],
+                )
+
+    # ------------------------------------------------------------------
+    def diagnosis(self) -> str:
+        """One-line human summary of everything observed."""
+        if not self.anomalies:
+            return "healthy: no anomalies observed"
+        counts: Dict[str, int] = {}
+        for anomaly in self.anomalies:
+            counts[anomaly["kind"]] = counts.get(anomaly["kind"], 0) + 1
+        parts = [f"{kind}×{n}" for kind, n in sorted(counts.items())]
+        return f"{len(self.anomalies)} anomalies: " + ", ".join(parts)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "n_anomalies": len(self.anomalies),
+            "diagnosis": self.diagnosis(),
+            "anomalies": list(self.anomalies),
+        }

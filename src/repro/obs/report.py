@@ -1,0 +1,251 @@
+"""Run-registry reporting: text tables, SVG sparklines, HTML report.
+
+``repro runs report`` renders the registry three ways:
+
+* a text table of runs (id, kind, model/dataset, wall time, headline
+  metrics) via :func:`run_table`;
+* per-run sparkline curves of every per-epoch series in the training
+  history (loss, eval metric, grad norm) as dependency-free inline SVG;
+* an optional single-file HTML report (``--html``) combining the table,
+  the sparklines, and a side-by-side sentinel comparison of the two most
+  recent comparable runs.
+
+Everything is stdlib-only so reports can be generated on CI and attached
+as artifacts.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.runs import RunRecord, RunStore
+from repro.obs.sentinel import SentinelReport, compare_runs
+
+__all__ = ["run_table", "sparkline_svg", "history_series", "html_report"]
+
+
+def _fmt_ts(ts: float) -> str:
+    return time.strftime("%Y-%m-%d %H:%M", time.gmtime(ts)) if ts else "-"
+
+
+def _fmt_metrics(metrics: Dict[str, Any], limit: int = 3) -> str:
+    parts = []
+    for name, value in list(metrics.items())[:limit]:
+        if isinstance(value, float):
+            parts.append(f"{name}={value:.4g}")
+        elif value is not None:
+            parts.append(f"{name}={value}")
+    return ", ".join(parts)
+
+
+def run_table(entries: Sequence[Dict[str, Any]]) -> str:
+    """Text table over ``RunStore.list()`` index entries (newest last)."""
+    from repro.utils import format_table
+
+    rows = []
+    for entry in entries:
+        rows.append(
+            [
+                entry["run_id"],
+                entry.get("kind", "?"),
+                entry.get("model") or "-",
+                entry.get("dataset") or "-",
+                _fmt_ts(entry.get("created_at", 0.0)),
+                f"{entry.get('wall_time_s', 0.0):.1f}",
+                str(entry.get("n_anomalies", 0)),
+                _fmt_metrics(entry.get("metrics", {})),
+            ]
+        )
+    return format_table(
+        ["run", "kind", "model", "dataset", "created (UTC)", "wall s",
+         "anom", "metrics"],
+        rows,
+        title=f"run registry — {len(entries)} run(s)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Sparklines
+# ----------------------------------------------------------------------
+def sparkline_svg(
+    values: Sequence[float],
+    width: int = 160,
+    height: int = 28,
+    stroke: str = "#2563eb",
+) -> str:
+    """Inline SVG polyline of a numeric series, normalized to its range."""
+    values = [float(v) for v in values]
+    if not values:
+        return f'<svg width="{width}" height="{height}"></svg>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 2.0
+    n = len(values)
+    points = []
+    for i, v in enumerate(values):
+        x = pad + (width - 2 * pad) * (i / max(1, n - 1))
+        y = height - pad - (height - 2 * pad) * ((v - lo) / span)
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<polyline fill="none" stroke="{stroke}" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/></svg>'
+    )
+
+
+def history_series(record: RunRecord) -> Dict[str, List[float]]:
+    """Per-epoch numeric series from a training history, by key."""
+    series: Dict[str, List[float]] = {}
+    for row in record.history:
+        for key, value in row.items():
+            if key == "epoch" or not isinstance(value, (int, float)):
+                continue
+            series.setdefault(key, []).append(float(value))
+    return {k: v for k, v in series.items() if len(v) >= 2}
+
+
+# ----------------------------------------------------------------------
+# HTML report
+# ----------------------------------------------------------------------
+_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #111; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #ddd; padding: 4px 10px; text-align: left; }
+th { background: #f5f5f5; }
+.regressed { color: #b91c1c; font-weight: 600; }
+.improved { color: #15803d; }
+.ok { color: #666; }
+h2 { margin-top: 2rem; }
+.spark td { border: none; padding: 2px 10px; }
+"""
+
+
+def _metric_cell(value: Any) -> str:
+    if isinstance(value, (list, tuple)):
+        mean = sum(value) / len(value) if value else 0.0
+        return f"{mean:.4g} (n={len(value)})"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return html.escape(str(value))
+
+
+def _run_section(record: RunRecord) -> List[str]:
+    out = [f"<h2>{html.escape(record.run_id)}</h2>"]
+    out.append(
+        "<p>"
+        f"kind=<b>{html.escape(record.kind)}</b>"
+        + (f", model=<b>{html.escape(record.model)}</b>" if record.model else "")
+        + (f", dataset=<b>{html.escape(record.dataset)}</b>" if record.dataset else "")
+        + f", seed={record.seed}, wall={record.wall_time_s:.1f}s"
+        + (f", config={record.config_hash}" if record.config_hash else "")
+        + "</p>"
+    )
+    if record.metrics:
+        out.append("<table><tr><th>metric</th><th>value</th></tr>")
+        for name, value in sorted(record.metrics.items()):
+            out.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{_metric_cell(value)}</td></tr>"
+            )
+        out.append("</table>")
+    series = history_series(record)
+    if series:
+        out.append('<table class="spark">')
+        for name, values in sorted(series.items()):
+            out.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{sparkline_svg(values)}</td>"
+                f"<td>{values[0]:.4g} → {values[-1]:.4g}</td></tr>"
+            )
+        out.append("</table>")
+    if record.anomalies:
+        out.append(f"<p class=\"regressed\">{len(record.anomalies)} anomalies:</p><ul>")
+        for anomaly in record.anomalies[:20]:
+            out.append(f"<li><code>{html.escape(str(anomaly))}</code></li>")
+        out.append("</ul>")
+    if record.failures:
+        out.append(f"<p class=\"regressed\">{len(record.failures)} failures:</p><ul>")
+        for failure in record.failures:
+            out.append(f"<li><code>{html.escape(str(failure.get('name')))}: "
+                       f"{html.escape(str(failure.get('error', '')))}</code></li>")
+        out.append("</ul>")
+    return out
+
+
+def _comparison_section(report: SentinelReport) -> List[str]:
+    out = [
+        "<h2>Latest comparison "
+        f"({html.escape(report.baseline_id)} → {html.escape(report.current_id)})</h2>",
+        "<table><tr><th>metric</th><th>baseline</th><th>current</th>"
+        "<th>delta</th><th>verdict</th></tr>",
+    ]
+    for v in report.verdicts:
+        out.append(
+            f'<tr class="{v.status}"><td>{html.escape(v.metric)}</td>'
+            f"<td>{v.baseline:.4g}</td><td>{v.current:.4g}</td>"
+            f"<td>{v.delta:+.4g} ({100 * v.rel_delta:+.1f}%)</td>"
+            f"<td>{v.status}{'*' if v.significant else ''}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def html_report(
+    store: RunStore,
+    limit: int = 20,
+    records: Optional[List[RunRecord]] = None,
+) -> str:
+    """Single-file HTML report over the newest ``limit`` runs."""
+    if records is None:
+        entries = store.list()[-limit:]
+        records = [store.load(e["run_id"]) for e in entries]
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>repro run registry</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>Run registry — {len(records)} run(s)</h1>",
+    ]
+    if records:
+        parts.append("<table><tr><th>run</th><th>kind</th><th>model</th>"
+                     "<th>dataset</th><th>created (UTC)</th><th>wall s</th></tr>")
+        for record in records:
+            parts.append(
+                f"<tr><td><a href='#{html.escape(record.run_id)}'>"
+                f"{html.escape(record.run_id)}</a></td>"
+                f"<td>{html.escape(record.kind)}</td>"
+                f"<td>{html.escape(record.model or '-')}</td>"
+                f"<td>{html.escape(record.dataset or '-')}</td>"
+                f"<td>{_fmt_ts(record.created_at)}</td>"
+                f"<td>{record.wall_time_s:.1f}</td></tr>"
+            )
+        parts.append("</table>")
+    # Side-by-side sentinel comparison of the two newest comparable runs
+    # (same kind, and same model+dataset for training runs).
+    comparison = _latest_comparable(records)
+    if comparison is not None:
+        parts.extend(_comparison_section(comparison))
+    for record in records:
+        parts.append(f"<a id='{html.escape(record.run_id)}'></a>")
+        parts.extend(_run_section(record))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def _latest_comparable(records: List[RunRecord]) -> Optional[SentinelReport]:
+    for i in range(len(records) - 1, 0, -1):
+        current = records[i]
+        for j in range(i - 1, -1, -1):
+            earlier = records[j]
+            if earlier.kind != current.kind:
+                continue
+            if current.kind == "train" and (
+                earlier.model != current.model
+                or earlier.dataset != current.dataset
+            ):
+                continue
+            if not (set(earlier.metrics) & set(current.metrics)):
+                continue
+            return compare_runs(earlier, current)
+    return None

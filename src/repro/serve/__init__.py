@@ -16,7 +16,7 @@ from repro.serve.checkpoint import (
 )
 from repro.serve.engine import MicroBatcher, ServingEngine, engine_from_checkpoint
 from repro.serve.index import TopKIndex, topk_from_scores
-from repro.serve.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.serve.server import RecommendationServer, create_server
 
 __all__ = [

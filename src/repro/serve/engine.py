@@ -12,7 +12,7 @@
 queued and flushed as one vectorized index query when either the batch
 fills or a small wait window elapses — classic serving micro-batching.
 
-Every tier bumps counters in a :class:`~repro.serve.metrics.MetricsRegistry`
+Every tier bumps counters in a :class:`~repro.obs.metrics.MetricsRegistry`
 (``requests``, ``cache_hits``/``cache_misses``, ``fallback_users``) and
 request latency lands in the ``recommend_latency_seconds`` histogram.
 """
@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.baselines.base import Recommender
 from repro.serve.index import TopKIndex, topk_from_scores
-from repro.serve.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
 
 Result = Tuple[np.ndarray, np.ndarray]  # (items, scores), each length k
 

@@ -1,11 +1,22 @@
-"""Backward-compatibility shim: metrics now live in :mod:`repro.obs.metrics`.
+"""Deprecated shim: metrics live in :mod:`repro.obs.metrics`.
 
 The registry was promoted out of the serving layer so the trainer and the
 benchmark harness can feed the same counters/gauges/histograms (see
-``docs/observability.md``).  Import paths through ``repro.serve.metrics``
-and ``repro.serve`` keep working and refer to the *same* classes.
+``docs/observability.md``).  Importing this module keeps working and
+refers to the *same* classes, but emits a :class:`DeprecationWarning`;
+update imports to ``repro.obs.metrics``.  In-repo code no longer uses
+this path.
 """
 
+import warnings
+
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry, _Timer
+
+warnings.warn(
+    "repro.serve.metrics is deprecated; import LatencyHistogram and "
+    "MetricsRegistry from repro.obs.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["LatencyHistogram", "MetricsRegistry"]

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.obs.events import NULL_TRACER
 from repro.serve.engine import MicroBatcher, ServingEngine
-from repro.serve.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
 
 
 class RecommendationServer(ThreadingHTTPServer):

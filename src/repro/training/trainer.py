@@ -11,6 +11,12 @@ Implements the paper's optimization protocol (Sec. III-C / IV-C):
   snapshot;
 * per-epoch wall-clock timing (Table VI's ``t̄``) and the epoch index of
   the best metric (``b̄e``).
+
+Every fit is watched by a :class:`~repro.obs.health.HealthMonitor`
+(non-finite loss, exploding/vanishing gradients, eval plateaus, dead
+embedding rows — structured ``anomaly`` events through the tracer), and
+can be persisted into a :class:`~repro.obs.runs.RunStore` by setting
+``TrainerConfig.run_store`` (see docs/runs.md).
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.data.negative_sampling import sample_training_negatives
 from repro.eval.ctr import evaluate_ctr
 from repro.eval.ranking import evaluate_topk
 from repro.obs.events import NULL_TRACER
+from repro.obs.health import HealthMonitor
 
 
 @dataclass
@@ -53,6 +60,13 @@ class TrainerConfig:
     #: ``repro.obs.Tracer`` receiving fit/epoch/eval spans and telemetry
     #: events; ``None`` disables tracing at (near) zero overhead.
     tracer: Optional[object] = None
+    #: ``repro.obs.HealthMonitor`` watching the run; ``None`` creates a
+    #: default monitor (custom thresholds / abort policy via an explicit
+    #: instance).
+    health: Optional[object] = None
+    #: ``repro.obs.RunStore`` to persist this fit into (config hash,
+    #: per-epoch history, final metrics, anomalies); ``None`` skips it.
+    run_store: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.eval_task not in ("topk", "ctr", "none"):
@@ -86,9 +100,15 @@ class Trainer:
         self._all_positives = model.dataset.all_positive_items()
         self.logger = self.config.logger or logging.getLogger("repro.training")
         self.tracer = self.config.tracer or NULL_TRACER
+        self.health: HealthMonitor = (
+            self.config.health or HealthMonitor()
+        ).bind(self.tracer)
         #: Telemetry of the most recent ``train_epoch`` call (examples,
         #: batches, mean grad norm when tracing is enabled).
         self.last_epoch_stats: Dict[str, float] = {}
+        #: ``RunRecord`` persisted by the most recent ``fit`` (when
+        #: ``config.run_store`` is set).
+        self.last_run_record = None
 
     # ------------------------------------------------------------------
     def train_epoch(self, epoch: int) -> float:
@@ -111,24 +131,27 @@ class Trainer:
         n_batches = 0
         batch_size = model.batch_size
         # Grad norms cost an extra O(|Θ|) pass per batch, so they are only
-        # measured when a tracer is attached (keeps the untraced hot path
-        # within the <3% overhead budget of bench_table6).
-        track_grads = self.tracer.enabled
+        # measured when a tracer is attached or the health monitor asks
+        # for them (keeps the untraced hot path within the <3% overhead
+        # budget of bench_table6).
+        track_grads = self.tracer.enabled or self.health.wants_grad_norms
         grad_norm_sum = 0.0
         for start in range(0, len(users), batch_size):
             batch = order[start : start + batch_size]
             loss = model.loss(users[batch], pos_items[batch], neg_items[batch])
             loss_value = loss.item()
             if not np.isfinite(loss_value):
-                raise RuntimeError(
-                    f"{model.name}: non-finite loss ({loss_value}) at epoch "
-                    f"{epoch}, batch starting {start} — check learning rate "
-                    "and initialization"
+                # Emits a structured `anomaly` event through the tracer,
+                # then aborts with full epoch/batch context.
+                raise self.health.nonfinite_loss(
+                    model.name, loss_value, epoch, start
                 )
             self.optimizer.zero_grad()
             loss.backward()
             if track_grads:
-                grad_norm_sum += self._global_grad_norm()
+                grad_norm = self._global_grad_norm()
+                grad_norm_sum += grad_norm
+                self.health.observe_batch(epoch, start, loss_value, grad_norm)
             self.optimizer.step()
             total_loss += loss_value
             n_batches += 1
@@ -136,9 +159,13 @@ class Trainer:
             "examples": float(len(users)),
             "batches": float(n_batches),
         }
+        mean_loss = total_loss / max(1, n_batches)
+        mean_grad = None
         if track_grads and n_batches:
-            self.last_epoch_stats["grad_norm"] = grad_norm_sum / n_batches
-        return total_loss / max(1, n_batches)
+            mean_grad = grad_norm_sum / n_batches
+            self.last_epoch_stats["grad_norm"] = mean_grad
+        self.health.observe_epoch(epoch, mean_loss, mean_grad)
+        return mean_loss
 
     def _global_grad_norm(self) -> float:
         """L2 norm over every parameter gradient of the current batch."""
@@ -215,6 +242,7 @@ class Trainer:
                             f"eval metric {cfg.eval_metric!r} not produced; "
                             f"available: {available}"
                         )
+                    self.health.observe_eval(epoch, cfg.eval_metric, metric)
                     if metric > result.best_metric:
                         result.best_metric = metric
                         result.best_epoch = epoch
@@ -259,10 +287,66 @@ class Trainer:
                 result.best_epoch = cfg.epochs
             result.total_time = time.perf_counter() - start_time
             result.time_per_epoch = float(np.mean(epoch_times)) if epoch_times else 0.0
+            self.health.check_embeddings(self.model)
             fit_span.set(
                 best_epoch=result.best_epoch,
                 best_metric=result.best_metric,
                 time_per_epoch=result.time_per_epoch,
                 stopped_early=result.stopped_early,
+                anomalies=len(self.health.anomalies),
             )
+        self._record_run(result)
         return result
+
+    # ------------------------------------------------------------------
+    def _record_run(self, result: TrainResult):
+        """Persist this fit into ``config.run_store`` (no-op without one)."""
+        store = self.config.run_store
+        if store is None:
+            return None
+        from repro.obs.runs import RunRecord, capture_env, dataset_fingerprint
+
+        cfg = self.config
+        model = self.model
+        try:
+            model_config = model.export_config()
+        except Exception:  # models without the attribute convention
+            model_config = {}
+        config = {
+            "model": {"name": model.name, **{str(k): v for k, v in model_config.items()}},
+            "trainer": {
+                "epochs": cfg.epochs,
+                "early_stop_patience": cfg.early_stop_patience,
+                "eval_task": cfg.eval_task,
+                "eval_metric": cfg.eval_metric,
+                "eval_k": cfg.eval_k,
+                "lr": model.lr,
+                "l2": model.l2,
+                "batch_size": model.batch_size,
+            },
+        }
+        metrics: Dict[str, float] = {}
+        if result.best_metric != float("-inf"):
+            metrics[cfg.eval_metric] = result.best_metric
+        if result.history:
+            metrics["loss"] = result.history[-1]["loss"]
+        record = RunRecord(
+            kind="train",
+            model=model.name,
+            dataset=model.dataset.name,
+            seed=cfg.seed,
+            config=config,
+            dataset_fingerprint=dataset_fingerprint(model.dataset),
+            env=capture_env(),
+            history=result.history,
+            metrics=metrics,
+            wall_time_s=result.total_time,
+            time_per_epoch_s=result.time_per_epoch,
+            best_epoch=result.best_epoch,
+            stopped_early=result.stopped_early,
+            spans=self.tracer.summary() if self.tracer.enabled else {},
+            anomalies=self.health.anomalies,
+        )
+        store.save(record)
+        self.last_run_record = record
+        return record

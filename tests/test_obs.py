@@ -122,12 +122,18 @@ class TestTracer:
 # Metrics (obs.metrics + serve backward compat)
 # ----------------------------------------------------------------------
 class TestMetrics:
-    def test_serve_reexport_is_same_class(self):
-        from repro import serve
-        from repro.serve import metrics as serve_metrics
+    def test_serve_shim_warns_but_reexports_same_class(self):
+        import importlib
+        import sys
 
+        from repro import serve
+
+        sys.modules.pop("repro.serve.metrics", None)
+        with pytest.warns(DeprecationWarning, match="repro.obs.metrics"):
+            serve_metrics = importlib.import_module("repro.serve.metrics")
         assert serve_metrics.MetricsRegistry is MetricsRegistry
         assert serve_metrics.LatencyHistogram is LatencyHistogram
+        # repro.serve itself no longer routes through the shim.
         assert serve.MetricsRegistry is MetricsRegistry
 
     def test_percentile_empty_window_returns_zero(self):

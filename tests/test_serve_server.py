@@ -142,7 +142,7 @@ class TestMetricsRegistry:
         assert metrics.snapshot()["cache_hit_rate"] == 0.75
 
     def test_histogram_window_bounds_memory(self):
-        from repro.serve.metrics import LatencyHistogram
+        from repro.obs.metrics import LatencyHistogram
 
         hist = LatencyHistogram(window=10)
         for value in range(100):
@@ -152,7 +152,7 @@ class TestMetricsRegistry:
         assert hist.percentile(0) >= 90.0
 
     def test_negative_latency_rejected(self):
-        from repro.serve.metrics import LatencyHistogram
+        from repro.obs.metrics import LatencyHistogram
 
         with pytest.raises(ValueError):
             LatencyHistogram().observe(-1.0)
