@@ -337,10 +337,13 @@ def masked_softmax(a: TensorLike, mask: ArrayLike, axis: int = -1) -> Tensor:
     neg = np.where(m, a.data, -np.inf)
     shift_vals = neg.max(axis=ax, keepdims=True)
     shift_vals = np.where(np.isfinite(shift_vals), shift_vals, 0.0)
-    expd = np.where(m, np.exp(neg - shift_vals), 0.0)
+    # exp(-inf) is exactly 0, so masked slots zero themselves; reuse the
+    # ``neg`` buffer for the remaining passes instead of allocating anew.
+    np.subtract(neg, shift_vals, out=neg)
+    expd = np.exp(neg, out=neg)
     total = expd.sum(axis=ax, keepdims=True)
     safe_total = np.where(total > 0, total, 1.0)
-    out = expd / safe_total
+    out = np.divide(expd, safe_total, out=expd)
 
     def backward(g, o=out, ax=ax):
         inner = (g * o).sum(axis=ax, keepdims=True)
@@ -390,6 +393,111 @@ def _parse_einsum_subscripts(subscripts: str, n_operands: int) -> Tuple[list, st
     return operand_subs, rhs.strip()
 
 
+#: Contraction plans keyed by (subscripts, operand shapes): ``False``
+#: (run the single-pass C kernel), a precomputed ``np.einsum_path`` result,
+#: or a :class:`_BmmPlan` routing the contraction through batched matmul.
+_EINSUM_PLANS: dict = {}
+
+
+class _BmmPlan:
+    """A two-operand einsum rewritten as one batched GEMM.
+
+    Index groups: *batch* (in both operands and the output), *m* (first
+    operand + output), *n* (second operand + output), *k* (contracted).
+    Execution transposes each operand to ``batch+m+k`` / ``batch+k+n``
+    order, reshapes to 3-D, runs ``np.matmul``, and permutes the result
+    back to the requested output order.
+    """
+
+    __slots__ = ("perm_a", "perm_b", "bmk", "bkn", "inter_shape", "perm_out")
+
+    def __init__(self, a_subs, b_subs, out_subs, a_shape, b_shape):
+        dims = {c: s for c, s in zip(a_subs, a_shape)}
+        dims.update({c: s for c, s in zip(b_subs, b_shape)})
+        a_set, b_set, out_set = set(a_subs), set(b_subs), set(out_subs)
+        batch = [c for c in out_subs if c in a_set and c in b_set]
+        m = [c for c in out_subs if c in a_set and c not in b_set]
+        n = [c for c in out_subs if c in b_set and c not in a_set]
+        k = [c for c in a_subs if c in b_set and c not in out_set]
+        prod = lambda cs: int(np.prod([dims[c] for c in cs])) if cs else 1
+        self.perm_a = [a_subs.index(c) for c in batch + m + k]
+        self.perm_b = [b_subs.index(c) for c in batch + k + n]
+        self.bmk = (prod(batch), prod(m), prod(k))
+        self.bkn = (prod(batch), prod(k), prod(n))
+        inter = batch + m + n
+        self.inter_shape = tuple(dims[c] for c in inter)
+        self.perm_out = [inter.index(c) for c in out_subs]
+
+    def sizes(self):
+        return self.bmk[1], self.bmk[2], self.bkn[2]
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        at = a.transpose(self.perm_a).reshape(self.bmk)
+        bt = b.transpose(self.perm_b).reshape(self.bkn)
+        out = np.matmul(at, bt).reshape(self.inter_shape)
+        return out.transpose(self.perm_out)
+
+
+def _try_bmm_plan(subscripts: str, a, b):
+    """A :class:`_BmmPlan` when the spec is a clean batched GEMM, else None."""
+    lhs, rhs = subscripts.split("->")
+    a_subs, b_subs = (s.strip() for s in lhs.split(","))
+    out_subs = rhs.strip()
+    a_set, b_set, out_set = set(a_subs), set(b_subs), set(out_subs)
+    if (
+        len(a_set) != len(a_subs)
+        or len(b_set) != len(b_subs)
+        or len(out_set) != len(out_subs)
+    ):
+        return None  # repeated index (trace/diagonal): not a GEMM
+    if out_set - (a_set | b_set) or (a_set ^ b_set) - out_set:
+        return None  # free index missing from the output
+    return _BmmPlan(a_subs, b_subs, out_subs, a.shape, b.shape)
+
+
+def _choose_einsum_plan(subscripts: str, arrays) -> object:
+    """Pick between the single-pass kernel and a BLAS-routed contraction.
+
+    The rule is shape-deterministic (no timing involved, so results are
+    reproducible run to run): three or more operands always benefit from
+    pairwise contraction.  A two-operand contraction without a *batch*
+    index (one shared by both operands **and** the output) is a true GEMM
+    and goes through ``np.einsum_path``.  A batched contraction goes
+    through :class:`_BmmPlan` (one batched GEMM) exactly when the
+    per-batch problem is big enough to amortize the transposes —
+    ``M·K·N ≥ 256`` with every side ≥ 2; degenerate per-batch shapes
+    (outer products, dot products) stay on the single-pass kernel, which
+    beats BLAS there.
+    """
+    if len(arrays) < 2:
+        return False
+    if len(arrays) == 2:
+        lhs, rhs = subscripts.split("->")
+        a_subs, b_subs = (s.strip() for s in lhs.split(","))
+        if set(a_subs) & set(b_subs) & set(rhs.strip()):
+            plan = _try_bmm_plan(subscripts, *arrays)
+            if plan is not None:
+                m, k, n = plan.sizes()
+                if m * k * n >= 256 and min(m, k, n) >= 2:
+                    return plan
+            return False
+    return np.einsum_path(subscripts, *arrays, optimize="optimal")[0]
+
+
+def _fast_einsum(subscripts: str, *arrays) -> np.ndarray:
+    """``np.einsum`` with a cached, deterministically chosen contraction plan."""
+    key = (subscripts,) + tuple(a.shape for a in arrays)
+    plan = _EINSUM_PLANS.get(key)
+    if plan is None:
+        plan = _choose_einsum_plan(subscripts, arrays)
+        _EINSUM_PLANS[key] = plan
+    if plan is False:
+        return np.einsum(subscripts, *arrays)
+    if isinstance(plan, _BmmPlan):
+        return plan(*arrays)
+    return np.einsum(subscripts, *arrays, optimize=plan)
+
+
 def einsum(subscripts: str, *operands: TensorLike) -> Tensor:
     """Differentiable ``numpy.einsum`` with explicit output subscripts.
 
@@ -403,7 +511,7 @@ def einsum(subscripts: str, *operands: TensorLike) -> Tensor:
     for subs in operand_subs:
         if len(set(subs)) != len(subs):
             raise ValueError(f"einsum operand subscript {subs!r} repeats an index")
-    out = np.einsum(subscripts, *[t.data for t in tensors])
+    out = _fast_einsum(subscripts, *[t.data for t in tensors])
 
     backward_fns = []
     for i, subs_i in enumerate(operand_subs):
@@ -419,7 +527,7 @@ def einsum(subscripts: str, *operands: TensorLike) -> Tensor:
         grad_expr = ",".join([out_subs] + other_subs) + "->" + subs_i
 
         def backward(g, expr=grad_expr, others=tuple(others)):
-            return np.einsum(expr, g, *others)
+            return _fast_einsum(expr, g, *others)
 
         backward_fns.append(backward)
 
@@ -486,19 +594,68 @@ def stack(tensors: Sequence[TensorLike], axis: int = 0) -> Tensor:
     return Tensor._make(out, tuple(ts), tuple(backward_fns), "stack")
 
 
+def _scatter_rows(shape: Tuple[int, ...], idx: np.ndarray, g: np.ndarray) -> np.ndarray:
+    """Adjoint of a row gather: ``zeros(shape)`` with ``g`` summed in at ``idx``.
+
+    Column-wise ``np.bincount`` beats ``np.add.at`` by ~3x for the
+    ``(n, d)`` float64 embedding tables this engine trains; anything else
+    falls back to the generic scatter.
+    """
+    if len(shape) != 2 or g.dtype != np.float64:
+        grad = np.zeros(shape, dtype=g.dtype)
+        np.add.at(grad, idx, g)
+        return grad
+    n, d = shape
+    flat = idx.ravel()
+    if flat.size and flat.min() < 0:
+        flat = np.where(flat < 0, flat + n, flat)
+    rows = g.reshape(-1, d)
+    grad = np.empty(shape, dtype=np.float64)
+    for column in range(d):
+        grad[:, column] = np.bincount(flat, weights=rows[:, column], minlength=n)
+    return grad
+
+
+def _scatter_index(shape: Tuple[int, ...], idx, g: np.ndarray) -> np.ndarray:
+    """Adjoint of ``a[idx]`` for arbitrary numpy index expressions.
+
+    Tuples of integer arrays (the transformed-table gather of the KG
+    attention) are linearized so the scatter runs over a flat first axis,
+    which is measurably cheaper than ``np.add.at`` with a tuple index.
+    """
+    if (
+        isinstance(idx, tuple)
+        and idx
+        and len(idx) <= len(shape)
+        and all(
+            isinstance(part, np.ndarray) and part.dtype.kind in "iu"
+            for part in idx
+        )
+    ):
+        k = len(idx)
+        head = shape[:k]
+        parts = np.broadcast_arrays(*idx)
+        linear = np.ravel_multi_index(parts, head, mode="wrap").ravel()
+        rest = int(np.prod(shape[k:], dtype=np.int64))
+        grad = np.zeros((int(np.prod(head, dtype=np.int64)), rest), dtype=g.dtype)
+        np.add.at(grad, linear, g.reshape(-1, rest))
+        return grad.reshape(shape)
+    grad = np.zeros(shape, dtype=g.dtype)
+    np.add.at(grad, idx, g)
+    return grad
+
+
 def index_select(a: TensorLike, index) -> Tensor:
     """Generic ``a[index]`` with scatter-add backward.
 
     ``index`` may be any basic/advanced numpy index expression whose
-    adjoint is well defined via ``np.add.at``.
+    adjoint is well defined via scatter-add.
     """
     a = ensure_tensor(a)
     out = a.data[index]
 
     def backward(g, idx=index, shape=a.shape):
-        grad = np.zeros(shape, dtype=g.dtype)
-        np.add.at(grad, idx, g)
-        return grad
+        return _scatter_index(shape, idx, g)
 
     return Tensor._make(np.asarray(out), (a,), (backward,), "index_select")
 
@@ -508,18 +665,24 @@ def gather_rows(table: TensorLike, indices: ArrayLike) -> Tensor:
 
     This is the embedding-lookup primitive: ``table`` is ``(n, d)`` and
     ``indices`` any integer-shaped array; the result has shape
-    ``indices.shape + (d,)``.  Backward scatter-adds into the table.
+    ``indices.shape + (d,)``.  Backward scatter-adds into the table and
+    records the touched rows on it for the sparse optimizer path
+    (:mod:`repro.autograd.optim`).  A table managed by a lazy sparse
+    optimizer exposes ``_refresh_hook``; calling it before the read
+    catches the requested rows up with any deferred updates.
     """
     table = ensure_tensor(table)
     idx = np.asarray(indices)
     if idx.dtype.kind not in "iu":
         raise TypeError("gather_rows indices must be integers")
+    if table._refresh_hook is not None:
+        table._refresh_hook(idx)
     out = table.data[idx]
 
-    def backward(g, idx=idx, shape=table.shape):
-        grad = np.zeros(shape, dtype=g.dtype)
-        np.add.at(grad, idx, g)
-        return grad
+    def backward(g, idx=idx, table=table):
+        if table._sparse_touched is not None:
+            table._sparse_touched.append(idx)
+        return _scatter_rows(table.shape, idx, g)
 
     return Tensor._make(out, (table,), (backward,), "gather_rows")
 

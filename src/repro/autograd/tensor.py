@@ -80,7 +80,17 @@ class Tensor:
         tensor during :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fns", "_op")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward_fns",
+        "_op",
+        "_sparse_touched",
+        "_saw_dense_grad",
+        "_refresh_hook",
+    )
     __array_priority__ = 100  # numpy defers binary ops to Tensor
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
@@ -90,6 +100,18 @@ class Tensor:
         self._parents: Tuple[Tensor, ...] = ()
         self._backward_fns: Tuple[Optional[Callable[[np.ndarray], np.ndarray]], ...] = ()
         self._op: str = "leaf"
+        #: When a sparse optimizer manages this tensor it sets this to a
+        #: list; ``gather_rows`` backward appends the index array of every
+        #: row-gather contribution (``None`` disables the bookkeeping).
+        self._sparse_touched: Optional[List[np.ndarray]] = None
+        #: True once any *non-gather* operation contributed to ``grad``
+        #: during the current accumulation window — the sparse optimizer
+        #: then falls back to its dense path for this tensor.
+        self._saw_dense_grad: bool = False
+        #: Optional ``hook(indices)`` installed by a lazy sparse optimizer;
+        #: ``gather_rows`` calls it before reading so deferred row updates
+        #: are applied before the rows are observed.
+        self._refresh_hook: Optional[Callable[[np.ndarray], None]] = None
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -147,6 +169,9 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+        if self._sparse_touched is not None:
+            self._sparse_touched = []
+        self._saw_dense_grad = False
 
     def __len__(self) -> int:
         return len(self.data)
@@ -190,6 +215,16 @@ class Tensor:
                 if fn is None or not parent.requires_grad:
                     continue
                 contribution = fn(node_grad)
+                if (
+                    parent._sparse_touched is not None
+                    and not parent._parents
+                    and node._op != "gather_rows"
+                ):
+                    # A leaf watched by the sparse optimizer received
+                    # gradient through something other than a row gather:
+                    # its touched-row record is incomplete, so the
+                    # optimizer must treat it densely.
+                    parent._saw_dense_grad = True
                 key = id(parent)
                 if key in grads:
                     grads[key] = grads[key] + contribution

@@ -55,12 +55,22 @@ class Recommender(Module):
         This is Eq. (22) with the sign of the negative term corrected (see
         DESIGN.md §5): ``J(1, ŷ⁺) + J(0, ŷ⁻)`` averaged over the batch.
         The λ‖Θ‖² term is applied by the optimizer as weight decay.
+
+        Positives and negatives are scored in a *single* forward pass —
+        ``J(1, ŷ) = -log σ(ŷ)`` and ``J(0, ŷ) = -log σ(-ŷ)`` fold into one
+        ``-log σ(s·ŷ)`` with a ±1 sign per row, and models whose forward
+        has per-batch fixed costs (CG-KGR transforms the full entity table
+        per pass) pay them once instead of twice per step.
         """
-        pos = self.score_pairs(users, pos_items)
-        neg = self.score_pairs(users, neg_items)
-        pos_term = ops.mean(ops.log_sigmoid(pos))
-        neg_term = ops.mean(ops.log_sigmoid(ops.neg(neg)))
-        return ops.neg(ops.add(pos_term, neg_term))
+        n = len(users)
+        all_users = np.concatenate([users, users])
+        all_items = np.concatenate([pos_items, neg_items])
+        signs = np.concatenate(
+            [np.ones(n, dtype=np.float64), -np.ones(n, dtype=np.float64)]
+        )
+        scores = self.score_pairs(all_users, all_items)
+        mean_term = ops.mean(ops.log_sigmoid(ops.mul(scores, signs)))
+        return ops.neg(ops.mul(mean_term, 2.0))
 
     def begin_epoch(self, epoch: int) -> None:
         """Hook called before each training epoch (default: no-op)."""

@@ -40,6 +40,185 @@ def _uniform_weights(mask: np.ndarray) -> np.ndarray:
     return m / np.where(counts > 0, counts, 1.0)
 
 
+def _repeat_children(x: Tensor, group_size: int) -> Tensor:
+    """(B, W, d) -> (B, W*K, d), repeating each parent K times."""
+    batch, width, dim = x.shape
+    expanded = ops.mul(
+        ops.reshape(x, (batch, width, 1, dim)), np.ones((1, 1, group_size, 1))
+    )
+    return ops.reshape(expanded, (batch, width * group_size, dim))
+
+
+# Reusable backward-pass work buffers, keyed by (name, shape).  Safe to
+# share across op instances because each buffer is filled and fully
+# consumed inside a single backward closure call (never captured between
+# forward and backward), and the training loop is single-threaded.
+_SCRATCH: dict = {}
+
+
+def _scratch(name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+    buf = _SCRATCH.get(name)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = np.empty(shape, dtype=dtype)
+        _SCRATCH[name] = buf
+    return buf
+
+
+def _guided_relation_scores(
+    head_source: Tensor,
+    guidance: Optional[Tensor],
+    relation_matrices: Tensor,
+    entity_table: Tensor,
+    entities: np.ndarray,
+    relations: np.ndarray,
+    group_size: int,
+) -> Tensor:
+    """Fused ``ω[b,h,w,k] = Σ_pq (f_b ⊙ v_{head_{bw}})_p M^h_{r}[p,q] v_{t,q}``.
+
+    Semantically identical to gate + ``_repeat_children`` +
+    ``transform_entity_table`` + per-edge gather + einsum, but built to the
+    problem's actual scales: the guidance gate and the score contraction run
+    on the (B·W) *parents* instead of the (B·W·K) edges (each parent's gated
+    vector is shared by its K children), and the per-(tail, relation)
+    projections come from one small GEMM over the entity table
+    (``pt[n, r, h] = M_r^h v_n``) followed by a single row gather.  The
+    adjoint reduces the edge-level outer products back onto ``pt`` with one
+    flattened ``bincount`` and finishes with two table-sized GEMMs.
+    """
+    batch, width, dim = head_source.shape
+    n_relations, n_heads, _, _ = relation_matrices.shape
+    ent_flat = entities.reshape(-1)
+    rel_flat = relations.reshape(-1)
+    n_parents = batch * width
+    total = ent_flat.size  # B * W * K
+    n_entities = entity_table.shape[0]
+    cols = n_heads * dim
+
+    if entity_table._refresh_hook is not None:
+        # The projection GEMM reads the whole table, not a gathered subset.
+        entity_table._refresh_hook(np.arange(n_entities))
+
+    # pt[(n, r), (h, p)] = (M_r^h v_n)_p for every (entity, relation) pair;
+    # with the small tables this repo trains, one (n, d) x (d, R·H·d) GEMM
+    # is cheaper than touching the (B·W·K) edges per relation.
+    m_data = relation_matrices.data
+    w_flat = m_data.transpose(3, 0, 1, 2).reshape(dim, n_relations * cols)
+    pt = (entity_table.data @ w_flat).reshape(n_entities * n_relations, cols)
+    comp = ent_flat * n_relations + rel_flat  # composite (tail, relation) id
+    gathered = pt[comp].reshape(n_parents, group_size * n_heads, dim)
+
+    if guidance is None:
+        gated = np.ascontiguousarray(head_source.data.reshape(n_parents, dim))
+    else:
+        gated = (head_source.data * guidance.data[:, None, :]).reshape(
+            n_parents, dim
+        )
+    raw = np.matmul(gathered, gated[:, :, None])[..., 0]  # (B·W, K·H)
+    out = np.ascontiguousarray(
+        raw.reshape(batch, width, group_size, n_heads).transpose(0, 3, 1, 2)
+    )  # (B, H, W, K)
+
+    # The adjoints share g-derived intermediates; memoize per seed gradient
+    # object since backward calls each parent's fn separately.
+    memo = {}
+
+    def shared(g):
+        if memo.get("key") != id(g):
+            g2 = np.ascontiguousarray(g.transpose(0, 2, 3, 1)).reshape(
+                n_parents, group_size * n_heads
+            )
+            memo["key"] = id(g)
+            memo["g2"] = g2
+            # d_gated[x] = Σ_(k,h) g2[x,(k,h)] · pt_row[x,(k,h)]
+            memo["d_gated"] = np.matmul(g2[:, None, :], gathered)[:, 0, :]
+        return memo
+
+    def backward_head(g):
+        d_gated = shared(g)["d_gated"]
+        if guidance is None:
+            return d_gated.reshape(batch, width, dim)
+        return d_gated.reshape(batch, width, dim) * guidance.data[:, None, :]
+
+    def backward_guidance(g):
+        d_gated = shared(g)["d_gated"]
+        return (
+            d_gated.reshape(batch, width, dim) * head_source.data
+        ).sum(axis=1)
+
+    def d_pt(g):
+        mem = shared(g)
+        if "d_pt" not in mem:
+            g2 = mem["g2"]
+            outer = _scratch("gs_outer", (n_parents, group_size * n_heads, dim))
+            np.multiply(g2[:, :, None], gated[:, None, :], out=outer)
+            idx = _scratch("gs_idx", (total, cols), np.int64)
+            np.add(comp[:, None] * cols, np.arange(cols), out=idx)
+            mem["d_pt"] = np.bincount(
+                idx.ravel(), weights=outer.ravel(),
+                minlength=n_entities * n_relations * cols,
+            ).reshape(n_entities, n_relations * cols)
+        return mem["d_pt"]
+
+    def backward_relations(g):
+        # d_M[r,h,p,q] = Σ_n d_pt[n,(r,h,p)] v_{n,q}
+        grad = d_pt(g).T @ entity_table.data
+        return grad.reshape(n_relations, n_heads, dim, dim)
+
+    def backward_entity(g):
+        # d_v[n,q] = Σ_(r,h,p) d_pt[n,(r,h,p)] M[r,h,p,q]
+        return d_pt(g) @ m_data.reshape(n_relations * cols, dim)
+
+    parents = [head_source]
+    backwards = [backward_head]
+    if guidance is not None:
+        parents.append(guidance)
+        backwards.append(backward_guidance)
+    parents += [relation_matrices, entity_table]
+    backwards += [backward_relations, backward_entity]
+    return Tensor._make(out, tuple(parents), tuple(backwards), "relation_scores")
+
+
+def _collab_scores(center: Tensor, relation_matrix: Tensor, neighbors: Tensor) -> Tensor:
+    """Fused ``π[b,h,k] = Σ_de center[b,d] M^h[d,e] neighbors[b,k,e]``.
+
+    Equivalent to ``einsum("bd,hde,bke->bhk", ...)`` but runs as two plain
+    GEMMs per direction (center·M, then a batched contraction against the
+    neighbors), skipping the generic einsum dispatch on the epoch hot path.
+    """
+    batch, dim = center.shape
+    n_heads = relation_matrix.shape[0]
+    m_data = relation_matrix.data
+    m_flat = m_data.transpose(1, 0, 2).reshape(dim, n_heads * dim)
+    t1 = (center.data @ m_flat).reshape(batch, n_heads, dim)  # (B, H, e)
+    nb = neighbors.data
+    out = np.matmul(t1, nb.transpose(0, 2, 1))  # (B, H, K)
+
+    memo = {}
+
+    def d_t1(g):
+        if memo.get("key") != id(g):
+            memo["key"] = id(g)
+            memo["d_t1"] = np.matmul(g, nb)  # (B, H, e)
+        return memo["d_t1"]
+
+    def backward_center(g):
+        return d_t1(g).reshape(batch, n_heads * dim) @ m_flat.T
+
+    def backward_matrix(g):
+        grad = center.data.T @ d_t1(g).reshape(batch, n_heads * dim)
+        return grad.reshape(dim, n_heads, dim).transpose(1, 0, 2)
+
+    def backward_neighbors(g):
+        return np.matmul(g.transpose(0, 2, 1), t1)  # (B, K, e)
+
+    return Tensor._make(
+        out,
+        (center, relation_matrix, neighbors),
+        (backward_center, backward_matrix, backward_neighbors),
+        "collab_scores",
+    )
+
+
 class CollaborationAttention(Module):
     """Multi-head collaboration attention over interaction neighborhoods."""
 
@@ -51,9 +230,7 @@ class CollaborationAttention(Module):
 
     def scores(self, center: Tensor, neighbors: Tensor) -> Tensor:
         """Unnormalized ``π`` (Eq. 1) per head: (B, H, K)."""
-        return ops.einsum(
-            "bd,hde,bke->bhk", center, self.relation_matrix, neighbors
-        )
+        return _collab_scores(center, self.relation_matrix, neighbors)
 
     def forward(
         self,
@@ -81,8 +258,11 @@ class CollaborationAttention(Module):
             return weighted
         raw = self.scores(center, neighbors)  # (B, H, K)
         weights = ops.masked_softmax(raw, mask[:, None, :], axis=-1)
-        per_head = ops.einsum("bhk,bke->bhe", weights, neighbors)
-        return ops.mean(per_head, axis=1)
+        # The neighbor values are head-independent, so averaging the H
+        # per-head summaries (Eq. 4) equals contracting with the
+        # head-averaged weights — and never materializes (B, H, d).
+        mean_weights = ops.mean(weights, axis=1)  # (B, K)
+        return ops.einsum("bk,bke->be", mean_weights, neighbors)
 
     def attention_weights(
         self, center: Tensor, neighbors: Tensor, mask: np.ndarray
@@ -115,6 +295,15 @@ class KnowledgeAwareAttention(Module):
             "nq,rhpq->nrhp", entity_table, self.relation_matrices
         )
 
+    def _gate(self, head_vectors: Tensor, guidance: Optional[Tensor]) -> Tensor:
+        """Guidance-gated heads ``f ⊙ v_h`` (all-one gate when ``None``)."""
+        if guidance is None:
+            return head_vectors
+        return ops.mul(
+            head_vectors,
+            ops.reshape(guidance, (guidance.shape[0], 1, guidance.shape[1])),
+        )
+
     def scores(
         self,
         head_vectors: Tensor,
@@ -135,29 +324,58 @@ class KnowledgeAwareAttention(Module):
             (B, E, H, d) gathered rows of the transformed entity table for
             each edge's (tail, relation).
         """
-        if guidance is not None:
-            gated = ops.mul(head_vectors, ops.reshape(guidance, (guidance.shape[0], 1, guidance.shape[1])))
-        else:
-            gated = head_vectors
+        gated = self._gate(head_vectors, guidance)
         return ops.einsum("bed,behd->bhe", gated, transformed_tails)
+
+    def scores_fused(
+        self,
+        head_source: Tensor,
+        guidance: Optional[Tensor],
+        entity_table: Tensor,
+        entities: np.ndarray,
+        relations: np.ndarray,
+        group_size: int,
+    ) -> Tensor:
+        """Hot-path equivalent of gate + repeat + :meth:`scores` working
+        straight off the *unrepeated* (B, W, d) parent heads and the entity
+        table via :func:`_guided_relation_scores`: (B, H, W, K)."""
+        return _guided_relation_scores(
+            head_source,
+            guidance,
+            self.relation_matrices,
+            entity_table,
+            entities,
+            relations,
+            group_size,
+        )
 
     def forward(
         self,
-        head_vectors: Tensor,
+        head_source: Tensor,
         guidance: Optional[Tensor],
-        transformed_tails: Tensor,
+        transformed_tails: Optional[Tensor],
         child_values: Tensor,
         mask: np.ndarray,
         group_size: int,
         uniform: bool = False,
+        entity_table: Optional[Tensor] = None,
+        entities: Optional[np.ndarray] = None,
+        relations: Optional[np.ndarray] = None,
     ) -> Tensor:
         """Per-parent neighborhood summaries (Eq. 16/18): (B, W, d).
 
         ``E = W * group_size`` edges are grouped into W parents with
         ``group_size`` children each; softmax normalizes within a group.
 
+        ``head_source`` holds the *unrepeated* (B, W, d) parent heads; the
+        paths that need per-edge heads repeat them internally.
+
         ``child_values`` are the *updated* child embeddings from the
         deeper hop (Alg. 1's cascade), shape (B, E, d).
+
+        Scores come from ``transformed_tails`` (pre-transformed table rows,
+        the introspection-friendly path) or, when it is ``None``, from the
+        fused ``entity_table``/``entities``/``relations`` inputs.
         """
         batch, n_edges, dim = child_values.shape
         width = n_edges // group_size
@@ -166,26 +384,38 @@ class KnowledgeAwareAttention(Module):
         if uniform:
             weights_np = _uniform_weights(grouped_mask)  # (B, W, K)
             return ops.einsum("bwk,bwkd->bwd", Tensor(weights_np), values)
-        raw = self.scores(head_vectors, guidance, transformed_tails)  # (B, H, E)
-        raw = ops.reshape(raw, (batch, self.n_heads, width, group_size))
+        if transformed_tails is not None:
+            heads = _repeat_children(head_source, group_size)
+            raw = self.scores(heads, guidance, transformed_tails)  # (B, H, E)
+            raw = ops.reshape(raw, (batch, self.n_heads, width, group_size))
+        else:
+            raw = self.scores_fused(
+                head_source, guidance, entity_table, entities, relations,
+                group_size,
+            )  # (B, H, W, K)
         weights = ops.masked_softmax(raw, grouped_mask[:, None, :, :], axis=-1)
-        per_head = ops.einsum("bhwk,bwkd->bhwd", weights, values)
-        return ops.mean(per_head, axis=1)
+        # Head-mean before the value contraction (values are shared across
+        # heads — see CollaborationAttention.forward): (B, W, K) weights.
+        mean_weights = ops.mean(weights, axis=1)
+        return ops.einsum("bwk,bwkd->bwd", mean_weights, values)
 
     def attention_weights(
         self,
-        head_vectors: Tensor,
+        head_source: Tensor,
         guidance: Optional[Tensor],
         transformed_tails: Tensor,
         mask: np.ndarray,
         group_size: int,
     ) -> np.ndarray:
-        """Head-averaged normalized ``ω̂`` (Eq. 15) for introspection."""
-        batch, n_edges, _ = head_vectors.shape
-        width = n_edges // group_size
-        raw = self.scores(head_vectors, guidance, transformed_tails)
+        """Head-averaged normalized ``ω̂`` (Eq. 15) for introspection.
+
+        ``head_source`` is unrepeated (B, W, d), as in :meth:`forward`.
+        """
+        batch, width, _ = head_source.shape
+        heads = _repeat_children(head_source, group_size)
+        raw = self.scores(heads, guidance, transformed_tails)
         raw = ops.reshape(raw, (batch, self.n_heads, width, group_size))
         weights = ops.masked_softmax(
             raw, mask.reshape(batch, width, group_size)[:, None, :, :], axis=-1
         )
-        return weights.numpy().mean(axis=1).reshape(batch, n_edges)
+        return weights.numpy().mean(axis=1).reshape(batch, width * group_size)

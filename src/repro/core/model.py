@@ -36,15 +36,6 @@ from repro.data.dataset import RecDataset
 from repro.graph.sampling import NeighborSampler
 
 
-def _repeat_children(x: Tensor, group_size: int) -> Tensor:
-    """(B, W, d) -> (B, W*K, d), repeating each parent K times."""
-    batch, width, dim = x.shape
-    expanded = ops.mul(
-        ops.reshape(x, (batch, width, 1, dim)), np.ones((1, 1, group_size, 1))
-    )
-    return ops.reshape(expanded, (batch, width * group_size, dim))
-
-
 class CGKGR(Recommender):
     """Attentive knowledge-aware GCN with collaborative guidance."""
 
@@ -185,8 +176,12 @@ class CGKGR(Recommender):
         for level in range(1, depth + 1):
             vectors.append(self.entity_embedding(flow.entities[level]))
 
+        # The fused relation-bucketed score path never materializes the
+        # transformed entity table; observers need the per-edge gathers, so
+        # the explicit table is only built while one is attached.
+        observing = bool(self._attention_observers)
         transformed = None
-        if cfg.use_attention:
+        if cfg.use_attention and observing:
             transformed = self.kg_attention.transform_entity_table(
                 self.entity_embedding.weight
             )
@@ -201,16 +196,15 @@ class CGKGR(Recommender):
                     head_source = ops.reshape(v_item, (batch, 1, cfg.dim))
                 else:
                     head_source = self.entity_embedding(flow.entities[level - 1])
-                heads = _repeat_children(head_source, k)
-                gathered = ops.index_select(
-                    transformed, (flow.entities[level], flow.relations[level])
-                )  # (B, W*K, H, d)
-                summary = self.kg_attention(
-                    heads, guidance, gathered, child_values, mask, k
-                )
-                if self._attention_observers:
+                if observing:
+                    gathered = ops.index_select(
+                        transformed, (flow.entities[level], flow.relations[level])
+                    )  # (B, W*K, H, d)
+                    summary = self.kg_attention(
+                        head_source, guidance, gathered, child_values, mask, k
+                    )
                     weights = self.kg_attention.attention_weights(
-                        heads, guidance, gathered, mask, k
+                        head_source, guidance, gathered, mask, k
                     )
                     payload = {
                         "level": level,
@@ -222,6 +216,18 @@ class CGKGR(Recommender):
                     }
                     for observer in self._attention_observers:
                         observer(payload)
+                else:
+                    summary = self.kg_attention(
+                        head_source,
+                        guidance,
+                        None,
+                        child_values,
+                        mask,
+                        k,
+                        entity_table=self.entity_embedding.weight,
+                        entities=flow.entities[level],
+                        relations=flow.relations[level],
+                    )
             else:
                 summary = self.kg_attention(
                     None, None, None, child_values, mask, k, uniform=True
@@ -280,18 +286,17 @@ class CGKGR(Recommender):
             transformed = self.kg_attention.transform_entity_table(
                 self.entity_embedding.weight
             )
-            heads = _repeat_children(
-                ops.reshape(v_item, (1, 1, self.config.dim)),
-                self.config.kg_sample_size,
-            )
+            head_source = ops.reshape(v_item, (1, 1, self.config.dim))
             gathered = ops.index_select(
                 transformed, (flow.entities[1], flow.relations[1])
             )
             guided = self.kg_attention.attention_weights(
-                heads, guidance, gathered, flow.masks[1], self.config.kg_sample_size
+                head_source, guidance, gathered,
+                flow.masks[1], self.config.kg_sample_size,
             )
             unguided = self.kg_attention.attention_weights(
-                heads, None, gathered, flow.masks[1], self.config.kg_sample_size
+                head_source, None, gathered,
+                flow.masks[1], self.config.kg_sample_size,
             )
         return {
             "entities": flow.entities[1][0],

@@ -82,14 +82,29 @@ def build_mask_table(
     an index array per user that :func:`rank_items` and the serving index
     (:mod:`repro.serve.index`) apply directly — the two consumers share one
     masking code path, so evaluation and serving cannot drift apart.
+
+    Built by one lexsort over the concatenated splits (sorted-unique per
+    user by construction); the result is reusable across eval epochs —
+    pass it to :func:`evaluate_topk` via ``mask_table`` to avoid
+    rebuilding (the :class:`~repro.training.trainer.Trainer` caches it).
     """
-    table: List[List[int]] = [[] for _ in range(n_users)]
-    for split in mask_splits:
-        for u, i in zip(split.users, split.items):
-            table[int(u)].append(int(i))
-    return [
-        np.unique(np.asarray(items, dtype=np.int64)) for items in table
-    ]
+    users = np.concatenate(
+        [np.asarray(split.users, dtype=np.int64) for split in mask_splits]
+    )
+    items = np.concatenate(
+        [np.asarray(split.items, dtype=np.int64) for split in mask_splits]
+    )
+    if not len(users):
+        return [np.empty(0, dtype=np.int64) for _ in range(n_users)]
+    order = np.lexsort((items, users))
+    users, items = users[order], items[order]
+    # Drop consecutive duplicates so each user's slice is sorted-unique.
+    keep = np.ones(len(users), dtype=bool)
+    keep[1:] = (users[1:] != users[:-1]) | (items[1:] != items[:-1])
+    users, items = users[keep], items[keep]
+    offsets = np.zeros(n_users + 1, dtype=np.int64)
+    np.cumsum(np.bincount(users, minlength=n_users), out=offsets[1:])
+    return [items[offsets[u] : offsets[u + 1]] for u in range(n_users)]
 
 
 def evaluate_topk(
@@ -99,6 +114,7 @@ def evaluate_topk(
     mask_splits: Optional[Sequence[InteractionGraph]] = None,
     max_users: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    mask_table: Optional[List[np.ndarray]] = None,
 ) -> Dict[str, float]:
     """Full-ranking Top-K evaluation.
 
@@ -117,6 +133,9 @@ def evaluate_topk(
         model's training split.
     max_users:
         Optional cap on evaluated users (random subsample) for speed.
+    mask_table:
+        Prebuilt :func:`build_mask_table` output for ``mask_splits``;
+        callers evaluating every epoch pass it to skip the rebuild.
     """
     if mask_splits is None:
         mask_splits = [model.dataset.train]
@@ -134,7 +153,8 @@ def evaluate_topk(
         for metric in ("recall", "ndcg", "precision", "hit")
         for k in k_list
     }
-    mask_table = build_mask_table(mask_splits, test.n_users)
+    if mask_table is None:
+        mask_table = build_mask_table(mask_splits, test.n_users)
     for user in test_users:
         relevant = set(test.items_of(user))
         # Never mask the ground truth itself.

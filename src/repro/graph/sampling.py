@@ -95,15 +95,155 @@ def _build_table(
             total = raw.sum()
             if total > 0:
                 probabilities = raw / total
-        if n >= size:
+        if n >= size and (
+            probabilities is None or np.count_nonzero(probabilities) >= size
+        ):
             chosen = rng.choice(n, size=size, replace=False, p=probabilities)
         else:
+            # Fewer neighbors — or fewer *selectable* (non-zero weight)
+            # neighbors — than slots: draw with replacement.  Without the
+            # support check, ``rng.choice(..., replace=False, p=...)``
+            # raises ``ValueError: Fewer non-zero entries in p than size``
+            # whenever a weighted node has enough neighbors but some carry
+            # zero weight (e.g. a zero-degree neighbor under the "degree"
+            # strategy).
             chosen = rng.choice(n, size=size, replace=True, p=probabilities)
         for slot, k in enumerate(chosen):
             rel, other = neighbors[k]
             neighbor_table[node, slot] = other
             relation_table[node, slot] = rel
     return neighbor_table, relation_table, has_neighbors
+
+
+@dataclass
+class _CSRAdjacency:
+    """Flat adjacency in CSR form, built once per sampler.
+
+    Node ``v``'s edges live at ``values[offsets[v]:offsets[v+1]]`` (targets)
+    and ``relations[...]`` (edge labels, all zero for bipartite
+    interaction adjacencies).
+    """
+
+    offsets: np.ndarray  # (n_nodes + 1,) int64
+    values: np.ndarray  # (nnz,) int64
+    relations: np.ndarray  # (nnz,) int64
+
+    @property
+    def counts(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+
+def _csr_from_pairs(sources: np.ndarray, targets: np.ndarray, n_nodes: int,
+                    relations: Optional[np.ndarray] = None) -> _CSRAdjacency:
+    """Group ``(source, target[, relation])`` edge lists by source."""
+    sources = np.asarray(sources, dtype=np.int64)
+    order = np.argsort(sources, kind="stable")
+    counts = np.bincount(sources, minlength=n_nodes)
+    offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    values = np.asarray(targets, dtype=np.int64)[order]
+    rels = (
+        np.zeros(len(values), dtype=np.int64)
+        if relations is None
+        else np.asarray(relations, dtype=np.int64)[order]
+    )
+    return _CSRAdjacency(offsets=offsets, values=values, relations=rels)
+
+
+def _sample_table_csr(
+    csr: _CSRAdjacency,
+    size: int,
+    rng: np.random.Generator,
+    weights: Optional[np.ndarray] = None,
+):
+    """Vectorized equivalent of :func:`_build_table` over a CSR adjacency.
+
+    Nodes with at least ``size`` (selectable) neighbors are sampled
+    without replacement via random sort keys (exponential keys over the
+    weights — Efraimidis & Spirakis — when ``weights`` is given); smaller
+    neighborhoods are filled with replacement from batched inverse-CDF
+    draws.  Everything is batched ``rng`` draws plus fancy indexing — no
+    per-node Python loop.
+    """
+    n_nodes = len(csr.offsets) - 1
+    counts = csr.counts
+    has = counts > 0
+    neighbor_table = np.zeros((n_nodes, size), dtype=np.int64)
+    relation_table = np.zeros((n_nodes, size), dtype=np.int64)
+    if not has.any():
+        return neighbor_table, relation_table, has
+
+    lo = csr.offsets[:-1]
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        cum0 = np.concatenate([[0.0], np.cumsum(weights)])
+        totals = cum0[csr.offsets[1:]] - cum0[lo]
+        support = np.add.reduceat(
+            (weights > 0).astype(np.int64),
+            np.minimum(lo, len(weights) - 1),
+        ) * has
+        # Nodes whose weights sum to zero fall back to uniform draws,
+        # matching the loop implementation.
+        uniform_rows = has & (totals <= 0)
+        weighted = has & ~uniform_rows
+        exact = weighted & (support >= size)
+        replace_w = weighted & ~exact
+    else:
+        uniform_rows = has
+        exact = np.zeros(n_nodes, dtype=bool)
+        replace_w = np.zeros(n_nodes, dtype=bool)
+
+    def fill(rows: np.ndarray, positions: np.ndarray) -> None:
+        neighbor_table[rows] = csr.values[positions]
+        relation_table[rows] = csr.relations[positions]
+
+    # Uniform nodes: without replacement when the neighborhood is large
+    # enough, otherwise batched with-replacement draws.
+    large = np.flatnonzero(uniform_rows & (counts >= size))
+    small = np.flatnonzero(uniform_rows & (counts < size))
+    if small.size:
+        draws = (rng.random((small.size, size)) * counts[small, None]).astype(np.int64)
+        np.minimum(draws, counts[small, None] - 1, out=draws)
+        fill(small, lo[small, None] + draws)
+    if large.size:
+        width = int(counts[large].max())
+        keys = rng.random((large.size, width))
+        keys[np.arange(width)[None, :] >= counts[large, None]] = np.inf
+        chosen = np.argpartition(keys, size - 1, axis=1)[:, :size]
+        fill(large, lo[large, None] + chosen)
+
+    # Weighted nodes with enough non-zero-weight neighbors: smallest
+    # exponential/weight keys == weighted sampling without replacement.
+    exact_rows = np.flatnonzero(exact)
+    if exact_rows.size:
+        width = int(counts[exact_rows].max())
+        cols = np.arange(width)[None, :]
+        valid = cols < counts[exact_rows, None]
+        w = np.zeros((exact_rows.size, width))
+        w[valid] = weights[(lo[exact_rows, None] + np.minimum(cols, counts[exact_rows, None] - 1))[valid]]
+        keys = np.full((exact_rows.size, width), np.inf)
+        positive = valid & (w > 0)
+        keys[positive] = rng.standard_exponential(positive.sum()) / w[positive]
+        chosen = np.argpartition(keys, size - 1, axis=1)[:, :size]
+        fill(exact_rows, lo[exact_rows, None] + chosen)
+
+    # Weighted nodes with fewer selectable neighbors than slots: draw
+    # with replacement by inverse CDF over the per-node weight segment
+    # (mirrors the loop implementation's replace=True fallback).
+    replace_rows = np.flatnonzero(replace_w)
+    if replace_rows.size:
+        base = cum0[lo[replace_rows]]
+        targets = base[:, None] + rng.random((replace_rows.size, size)) * totals[replace_rows, None]
+        positions = np.searchsorted(cum0, targets, side="right") - 1
+        np.clip(
+            positions,
+            lo[replace_rows, None],
+            csr.offsets[1:][replace_rows, None] - 1,
+            out=positions,
+        )
+        fill(replace_rows, positions)
+
+    return neighbor_table, relation_table, has
 
 
 class NeighborSampler:
@@ -120,6 +260,11 @@ class NeighborSampler:
         ``|S(u)|``, ``|S_UI(i)|`` and ``|S_KG(e)|`` of Table III.
     rng:
         Source of sampling randomness.
+    impl:
+        ``"vectorized"`` (default) redraws tables as batched draws over
+        CSR offset arrays built once here; ``"loop"`` keeps the original
+        per-node implementation (same distribution, different rng stream —
+        retained for parity tests and as an executable specification).
     """
 
     def __init__(
@@ -131,18 +276,43 @@ class NeighborSampler:
         kg_sample_size: int,
         rng: np.random.Generator,
         kg_strategy: str = "uniform",
+        impl: str = "vectorized",
     ):
         if min(user_sample_size, item_sample_size, kg_sample_size) < 1:
             raise ValueError("sample sizes must be >= 1")
         if kg_strategy not in ("uniform", "degree"):
             raise ValueError(f"unknown kg sampling strategy {kg_strategy!r}")
+        if impl not in ("vectorized", "loop"):
+            raise ValueError(f"unknown sampler impl {impl!r}")
         self.kg = kg
         self.interactions = interactions
         self.user_sample_size = int(user_sample_size)
         self.item_sample_size = int(item_sample_size)
         self.kg_sample_size = int(kg_sample_size)
         self.kg_strategy = kg_strategy
+        self.impl = impl
         self._rng = rng
+        # CSR adjacencies are structural: built once, reused every epoch.
+        self._user_csr = _csr_from_pairs(
+            interactions.users, interactions.items, interactions.n_users
+        )
+        self._item_csr = _csr_from_pairs(
+            interactions.items, interactions.users, interactions.n_items
+        )
+        heads, rels, tails = (kg.triples[:, i] for i in range(3))
+        self._kg_csr = _csr_from_pairs(
+            np.concatenate([heads, tails]),
+            np.concatenate([tails, heads]),
+            kg.n_entities,
+            relations=np.concatenate([rels, rels]),
+        )
+        if kg_strategy == "degree":
+            # Per-edge weight = degree of the edge's far endpoint.
+            self._kg_weights = self._kg_csr.counts[self._kg_csr.values].astype(
+                np.float64
+            )
+        else:
+            self._kg_weights = None
         self.resample()
 
     # ------------------------------------------------------------------
@@ -150,6 +320,23 @@ class NeighborSampler:
         """Redraw all adjacency tables (call once per epoch for fresh
         fixed-size random samples, matching the paper's per-iteration
         ``Sample_neighbor``)."""
+        if self.impl == "vectorized":
+            self._resample_vectorized()
+        else:
+            self._resample_loop()
+
+    def _resample_vectorized(self) -> None:
+        self._user_items, _, self._user_has = _sample_table_csr(
+            self._user_csr, self.user_sample_size, self._rng
+        )
+        self._item_users, _, self._item_has = _sample_table_csr(
+            self._item_csr, self.item_sample_size, self._rng
+        )
+        self._kg_neighbors, self._kg_relations, self._kg_has = _sample_table_csr(
+            self._kg_csr, self.kg_sample_size, self._rng, weights=self._kg_weights
+        )
+
+    def _resample_loop(self) -> None:
         inter = self.interactions
         self._user_items, _, self._user_has = _build_table(
             lambda u: [(0, i) for i in inter.items_of(u)],

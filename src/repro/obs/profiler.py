@@ -28,6 +28,7 @@ callable via :meth:`Profiler.patch`.
 
 from __future__ import annotations
 
+import importlib
 import inspect
 import time
 import threading
@@ -37,6 +38,15 @@ from repro.autograd import ops as _ops_module
 from repro.autograd.tensor import Tensor
 
 __all__ = ["Profiler", "ProfileReport", "profile"]
+
+#: Differentiable ops that live outside :mod:`repro.autograd.ops` (fused
+#: model kernels); patched alongside the ops module so their forward and
+#: tape-closure time lands in the per-op table instead of the
+#: ``[backward overhead]`` line.  (module path, attribute, report label)
+_EXTRA_OPS = (
+    ("repro.core.attention", "_guided_relation_scores", "relation_scores"),
+    ("repro.core.attention", "_collab_scores", "collab_scores"),
+)
 
 
 class _OpStat:
@@ -62,6 +72,7 @@ class Profiler:
         self.wall_time = 0.0
         self._local = threading.local()
         self._saved_ops: Dict[str, Callable] = {}
+        self._saved_extra: List[tuple] = []
         self._saved_patches: List[tuple] = []
         self._saved_backward: Optional[Callable] = None
         self._t0 = 0.0
@@ -124,8 +135,8 @@ class Profiler:
 
         return wrapped
 
-    def _wrap_op(self, fn: Callable) -> Callable:
-        name = fn.__name__
+    def _wrap_op(self, fn: Callable, name: Optional[str] = None) -> Callable:
+        name = name or fn.__name__
         local = self._local
 
         def wrapped(*args, **kwargs):
@@ -173,6 +184,11 @@ class Profiler:
             original = getattr(_ops_module, attr)
             self._saved_ops[attr] = original
             setattr(_ops_module, attr, self._wrap_op(original))
+        for module_name, attr, label in _EXTRA_OPS:
+            module = importlib.import_module(module_name)
+            original = getattr(module, attr)
+            self._saved_extra.append((module, attr, original))
+            setattr(module, attr, self._wrap_op(original, label))
 
         profiler = self
         original_backward = Tensor.backward
@@ -195,6 +211,9 @@ class Profiler:
         for attr, original in self._saved_ops.items():
             setattr(_ops_module, attr, original)
         self._saved_ops.clear()
+        for module, attr, original in self._saved_extra:
+            setattr(module, attr, original)
+        self._saved_extra.clear()
         Tensor.backward = self._saved_backward
         for owner, attr, original, shadowed in reversed(self._saved_patches):
             if shadowed:

@@ -30,9 +30,9 @@ import numpy as np
 
 from repro.autograd.optim import Adam
 from repro.baselines.base import Recommender
-from repro.data.negative_sampling import sample_training_negatives
+from repro.data.negative_sampling import PositivePairIndex, sample_training_negatives
 from repro.eval.ctr import evaluate_ctr
-from repro.eval.ranking import evaluate_topk
+from repro.eval.ranking import build_mask_table, evaluate_topk
 from repro.obs.events import NULL_TRACER
 from repro.obs.health import HealthMonitor
 
@@ -53,6 +53,9 @@ class TrainerConfig:
     shuffle: bool = True
     verbose: bool = False
     seed: int = 0
+    #: Lazy row-sparse embedding updates (bit-identical to dense; see
+    #: docs/autograd.md).  Escape hatch for A/B timing comparisons.
+    sparse_updates: bool = True
     #: Destination of per-epoch progress lines (``verbose``); defaults to
     #: the ``repro.training`` logger, so output works with or without an
     #: ``obs`` tracer attached.
@@ -94,10 +97,19 @@ class Trainer:
         self.model = model
         self.config = config or TrainerConfig()
         self.optimizer = Adam(
-            model.parameters(), lr=model.lr, weight_decay=model.l2
+            model.parameters(),
+            lr=model.lr,
+            weight_decay=model.l2,
+            sparse=self.config.sparse_updates,
         )
         self._neg_rng = np.random.default_rng(self.config.seed + 7919)
         self._all_positives = model.dataset.all_positive_items()
+        # Built once, reused by every epoch's negative-sampling rounds.
+        self._positive_index = PositivePairIndex(
+            self._all_positives, model.dataset.n_items
+        )
+        # Built lazily on first top-k eval, reused across eval epochs.
+        self._mask_table = None
         self.logger = self.config.logger or logging.getLogger("repro.training")
         self.tracer = self.config.tracer or NULL_TRACER
         self.health: HealthMonitor = (
@@ -120,7 +132,11 @@ class Trainer:
         users = train.users
         pos_items = train.items
         neg_items = sample_training_negatives(
-            train, self._all_positives, model.dataset.n_items, self._neg_rng
+            train,
+            self._all_positives,
+            model.dataset.n_items,
+            self._neg_rng,
+            index=self._positive_index,
         )
         order = (
             np.random.default_rng(cfg.seed + epoch).permutation(len(users))
@@ -155,6 +171,10 @@ class Trainer:
             self.optimizer.step()
             total_loss += loss_value
             n_batches += 1
+        # Deferred sparse-row updates must land before anything reads
+        # parameter data directly (eval snapshots, state_dict, health
+        # checks on embedding tables).
+        self.optimizer.flush()
         self.last_epoch_stats = {
             "examples": float(len(users)),
             "batches": float(n_batches),
@@ -180,6 +200,10 @@ class Trainer:
         cfg = self.config
         model = self.model
         if cfg.eval_task == "topk":
+            if self._mask_table is None:
+                self._mask_table = build_mask_table(
+                    [model.dataset.train], model.dataset.valid.n_users
+                )
             return evaluate_topk(
                 model,
                 model.dataset.valid,
@@ -187,6 +211,7 @@ class Trainer:
                 mask_splits=[model.dataset.train],
                 max_users=cfg.eval_max_users,
                 rng=np.random.default_rng(cfg.seed),
+                mask_table=self._mask_table,
             )
         if cfg.eval_task == "ctr":
             return evaluate_ctr(model, model.dataset.valid, negative_seed=cfg.seed)
@@ -248,9 +273,10 @@ class Trainer:
                         result.best_epoch = epoch
                         best_state = self.model.state_dict()
                         best_extra = self.model.extra_state()
-                        epochs_since_best = 0
-                    else:
-                        epochs_since_best += 1
+                    # Patience counts *epochs*, not eval rounds: with
+                    # eval_every > 1 the paper's "non-increasing for 10
+                    # consecutive epochs" must still mean 10 epochs.
+                    epochs_since_best = epoch - result.best_epoch
                 result.history.append(record)
                 if tracer.enabled:
                     tracer.event(
@@ -329,7 +355,15 @@ class Trainer:
         if result.best_metric != float("-inf"):
             metrics[cfg.eval_metric] = result.best_metric
         if result.history:
-            metrics["loss"] = result.history[-1]["loss"]
+            # The model was restored to the best epoch, so the headline
+            # ``loss`` must be the best epoch's; the last epoch's value
+            # stays available as ``final_loss``.
+            best_record = next(
+                (r for r in result.history if r["epoch"] == result.best_epoch),
+                result.history[-1],
+            )
+            metrics["loss"] = best_record["loss"]
+            metrics["final_loss"] = result.history[-1]["loss"]
         record = RunRecord(
             kind="train",
             model=model.name,

@@ -173,7 +173,8 @@ class TestKnowledgeAwareAttention:
         from repro.autograd import ops as O
 
         gathered = O.index_select(transformed, (tails, rels))
-        heads = Tensor(rng.normal(size=(batch, k, 3)))
+        # One unrepeated parent head per group of k children.
+        heads = Tensor(rng.normal(size=(batch, 1, 3)))
         mask = np.ones((batch, k), dtype=bool)
         guidance = Tensor(rng.normal(size=(batch, 3)) * 3.0)
         with_g = attn.attention_weights(heads, guidance, gathered, mask, k)
@@ -190,7 +191,7 @@ class TestKnowledgeAwareAttention:
         from repro.autograd import ops as O
 
         gathered = O.index_select(transformed, (tails, rels))
-        heads = Tensor(rng.normal(size=(batch, n_edges, 3)))
+        heads = Tensor(rng.normal(size=(batch, width, 3)))
         child_values = Tensor(rng.normal(size=(batch, n_edges, 3)))
         mask = np.ones((batch, n_edges), dtype=bool)
         out = attn(heads, Tensor(rng.normal(size=(batch, 3))), gathered, child_values, mask, k)

@@ -119,7 +119,9 @@ class TestKnowledgeAttentionEquations:
         dim, heads, n_rel, k = 4, 2, 3, 4
         attn = KnowledgeAwareAttention(dim, heads, n_rel, rng)
         entity_table = rng.normal(size=(7, dim))
-        heads_vec = rng.normal(size=(1, k, dim))  # repeated parent per slot
+        # One parent node; heads_vec is its per-edge (repeated) view for
+        # the edge-scale ``scores`` path.
+        heads_vec = np.repeat(rng.normal(size=(1, 1, dim)), k, axis=1)
         guidance = rng.normal(size=(1, dim))
         tails = rng.integers(0, 7, size=(1, k))
         rels = rng.integers(0, n_rel, size=(1, k))
@@ -158,7 +160,8 @@ class TestKnowledgeAttentionEquations:
         gathered = ops.index_select(transformed, (tails, rels))
         mask = np.ones(tails.shape, dtype=bool)
         weights = attn.attention_weights(
-            Tensor(heads_vec), Tensor(guidance), gathered, mask, tails.shape[1]
+            Tensor(heads_vec[:, :1]), Tensor(guidance), gathered, mask,
+            tails.shape[1],
         )
         expected = self._expected_scores(
             attn, entity_table, heads_vec, guidance, tails, rels
