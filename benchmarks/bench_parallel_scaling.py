@@ -1,0 +1,112 @@
+"""Data-parallel epoch-engine scaling: workers ∈ {1, 2, 4}.
+
+Times :class:`repro.training.ParallelEpochEngine` epochs at increasing
+worker counts on one profile, checks the deterministic-reduction
+contract (every worker count must land on bit-identical parameters), and
+publishes the ``t_per_epoch_s`` / ``speedup_x`` curve into the
+``efficiency`` trajectory.
+
+Honesty note: on a single-core host the spawn pool cannot beat the
+in-process path — workers time-slice one CPU and pay snapshot/IPC
+overhead on top (see docs/training.md).  The curve is recorded as
+measured either way; the sentinel tracks the *shape* across hosts rather
+than asserting a speedup this container cannot produce.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks import harness
+from repro.autograd.optim import Adam
+from repro.core import CGKGR, paper_config
+from repro.data import generate_profile
+from repro.training import ParallelEpochEngine
+from repro.utils import format_table
+
+WORKER_COUNTS = (1, 2, 4)
+N_EPOCHS = 2
+SEED = 7
+
+
+def _run_engine(dataset, dataset_name: str, num_workers: int):
+    """Train N epochs at one worker count; return (t̄, summary, params)."""
+    model = CGKGR(dataset, paper_config(dataset_name), seed=SEED)
+    optimizer = Adam(
+        model.parameters(), lr=model.lr, weight_decay=model.l2, sparse=True
+    )
+    engine = ParallelEpochEngine(
+        model, optimizer, seed=SEED, num_workers=num_workers
+    )
+    try:
+        engine.start()  # pool spawn excluded from the per-epoch timing
+        times = []
+        for epoch in range(1, N_EPOCHS + 1):
+            tick = time.perf_counter()
+            engine.run_epoch(epoch)
+            times.append(time.perf_counter() - tick)
+        summary = engine.summary()
+    finally:
+        engine.close()
+    optimizer.flush()
+    return float(np.mean(times)), summary, model.state_dict()
+
+
+def run() -> str:
+    dataset_name = harness.datasets()[0]
+    dataset = generate_profile(dataset_name, seed=0)
+
+    rows = []
+    baseline_t = None
+    reference_params = None
+    all_identical = True
+    for workers in WORKER_COUNTS:
+        t_epoch, summary, params = _run_engine(dataset, dataset_name, workers)
+        if baseline_t is None:
+            baseline_t = t_epoch
+            reference_params = params
+        else:
+            all_identical &= all(
+                np.array_equal(reference_params[k], params[k])
+                for k in reference_params
+            )
+        speedup = baseline_t / max(t_epoch, 1e-9)
+        rows.append(
+            [
+                str(workers),
+                summary.get("mode", "?"),
+                f"{t_epoch:.3f}",
+                f"{speedup:.2f}x",
+                f"{summary.get('accounted_fraction', 0.0):.2f}",
+            ]
+        )
+        harness.record_bench_metrics(
+            "efficiency",
+            {
+                f"{dataset_name}/parallel/workers{workers}/t_per_epoch_s": t_epoch,
+                f"{dataset_name}/parallel/workers{workers}/speedup_x": speedup,
+            },
+        )
+    harness.record_bench_metrics(
+        "efficiency",
+        {f"{dataset_name}/parallel/bit_identical": float(all_identical)},
+    )
+
+    import os
+
+    footer = (
+        f"host cpu_count={os.cpu_count()}; "
+        f"bit-identical params across worker counts: {all_identical}"
+    )
+    table = format_table(
+        ["workers", "mode", "t̄ (s/epoch)", "speedup", "wall accounted"],
+        rows,
+        title=f"[Extension] Data-parallel epoch scaling — {dataset_name}",
+    )
+    return table + "\n" + footer
+
+
+def test_parallel_scaling(benchmark):
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    harness.save_result("parallel_scaling", output)
+    assert "bit-identical params across worker counts: True" in output

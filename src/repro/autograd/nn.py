@@ -121,12 +121,18 @@ class Linear(Module):
         return out
 
 
+def _identity(x: Tensor) -> Tensor:
+    # Module-level (not a lambda) so modules holding it stay picklable,
+    # which worker processes rely on (repro.training.parallel).
+    return x
+
+
 _ACTIVATIONS = {
     "relu": ops.relu,
     "tanh": ops.tanh,
     "sigmoid": ops.sigmoid,
     "leaky_relu": ops.leaky_relu,
-    "identity": lambda x: x,
+    "identity": _identity,
 }
 
 

@@ -150,6 +150,7 @@ def cmd_train(args) -> int:
             eval_max_users=args.eval_users,
             verbose=args.verbose,
             seed=args.seed,
+            num_workers=args.workers,
             tracer=tracer,
             run_store=_make_run_store(args),
         ),
@@ -190,6 +191,7 @@ def cmd_compare(args) -> int:
             eval_metric=f"recall@{args.k}",
             eval_k=args.k,
             eval_max_users=args.eval_users,
+            num_workers=args.workers,
         ),
         topk_values=(args.k,),
         eval_ctr_too=True,
@@ -242,6 +244,7 @@ def cmd_export(args) -> int:
             eval_max_users=args.eval_users,
             verbose=args.verbose,
             seed=args.seed,
+            num_workers=args.workers,
             tracer=tracer,
             run_store=_make_run_store(args),
         ),
@@ -497,6 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
     train_common.add_argument("--patience", type=int, default=8)
     train_common.add_argument("--k", type=int, default=20)
     train_common.add_argument("--eval-users", type=int, default=60)
+    train_common.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="data-parallel training workers (0 = classic single-process "
+        "loop; >=1 uses the deterministic sharded engine, bit-identical "
+        "for any N — see docs/training.md)",
+    )
     train_common.add_argument(
         "--trace", "--log-jsonl", dest="trace", metavar="PATH", default=None,
         help="write obs span/event telemetry as JSONL to PATH",

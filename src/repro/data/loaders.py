@@ -24,8 +24,15 @@ from repro.graph.interactions import InteractionGraph
 from repro.graph.knowledge_graph import KnowledgeGraph
 
 
-def _parse_int_lines(path: str, n_fields: int) -> List[Tuple[int, ...]]:
-    rows: List[Tuple[int, ...]] = []
+def _parse_int_lines(path: str, n_fields: int) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Parse whitespace-separated integer lines into ``(lineno, fields)``.
+
+    Every malformed input — truncated line, non-integer field, or a file
+    with no data lines at all — raises :class:`ValueError` naming the
+    offending file (and line, where one exists) so dataset-preparation
+    mistakes surface at load time instead of as index errors mid-train.
+    """
+    rows: List[Tuple[int, Tuple[int, ...]]] = []
     with open(path) as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -36,25 +43,59 @@ def _parse_int_lines(path: str, n_fields: int) -> List[Tuple[int, ...]]:
                 raise ValueError(
                     f"{path}:{lineno}: expected {n_fields} fields, got {len(parts)}"
                 )
-            rows.append(tuple(int(p) for p in parts[:n_fields]))
+            try:
+                fields = tuple(int(p) for p in parts[:n_fields])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer field in line {line!r}"
+                ) from None
+            rows.append((lineno, fields))
+    if not rows:
+        raise ValueError(f"{path}: file contains no data lines")
     return rows
 
 
 def load_interactions_file(path: str) -> InteractionGraph:
     """Load ``user item label`` ratings, keeping positive pairs only."""
     rows = _parse_int_lines(path, 3)
-    positives = [(u, i) for u, i, label in rows if label == 1]
+    for lineno, (u, i, _) in rows:
+        if u < 0 or i < 0:
+            raise ValueError(
+                f"{path}:{lineno}: negative id (user={u}, item={i})"
+            )
+    positives = [(u, i) for _, (u, i, label) in rows if label == 1]
     if not positives:
         raise ValueError(f"{path}: no positive interactions found")
-    n_users = max(u for u, _, _ in rows) + 1
-    n_items = max(i for _, i, _ in rows) + 1
+    n_users = max(u for _, (u, _, _) in rows) + 1
+    n_items = max(i for _, (_, i, _) in rows) + 1
     return InteractionGraph(positives, n_users=n_users, n_items=n_items)
 
 
 def load_kg_file(path: str, n_entities: int | None = None, n_relations: int | None = None) -> KnowledgeGraph:
-    """Load ``head relation tail`` triples."""
+    """Load ``head relation tail`` triples.
+
+    When ``n_entities`` / ``n_relations`` bounds are declared, every
+    triple is validated against them so an out-of-range id is reported
+    with its file and line rather than corrupting the adjacency build.
+    """
     rows = _parse_int_lines(path, 3)
-    triples = [(h, r, t) for h, r, t in rows]
+    triples: List[Tuple[int, int, int]] = []
+    for lineno, (h, r, t) in rows:
+        if h < 0 or r < 0 or t < 0:
+            raise ValueError(
+                f"{path}:{lineno}: negative id in triple ({h}, {r}, {t})"
+            )
+        if n_entities is not None and (h >= n_entities or t >= n_entities):
+            raise ValueError(
+                f"{path}:{lineno}: entity id out of range for "
+                f"n_entities={n_entities} in triple ({h}, {r}, {t})"
+            )
+        if n_relations is not None and r >= n_relations:
+            raise ValueError(
+                f"{path}:{lineno}: relation id {r} out of range for "
+                f"n_relations={n_relations}"
+            )
+        triples.append((h, r, t))
     return KnowledgeGraph(triples, n_entities=n_entities, n_relations=n_relations)
 
 

@@ -4,6 +4,7 @@ every table and figure bench.
 """
 
 from repro.training.trainer import Trainer, TrainerConfig, TrainResult
+from repro.training.parallel import EpochResult, ParallelEpochEngine
 from repro.training.experiment import (
     ComparisonResult,
     ModelFactory,
@@ -16,6 +17,8 @@ __all__ = [
     "Trainer",
     "TrainerConfig",
     "TrainResult",
+    "ParallelEpochEngine",
+    "EpochResult",
     "ComparisonResult",
     "ModelFactory",
     "run_comparison",

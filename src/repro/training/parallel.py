@@ -1,0 +1,813 @@
+"""Data-parallel multi-process epoch engine with deterministic reduction.
+
+CG-KGR's fixed-size sampled receptive fields make minibatch shards fully
+independent: a shard's forward/backward needs only the parameter snapshot
+and the epoch's sampled adjacency tables.  This module exploits that to
+run one epoch across a persistent pool of **spawned** worker processes:
+
+* every batch is split into a fixed number of contiguous **shards**
+  (``n_shards``, independent of the worker count);
+* workers receive the parent's parameter snapshot through
+  ``multiprocessing.shared_memory``, compute forward/backward on their
+  shards, and write back sparse row-gradients (row-index + value arrays,
+  the PR-4 sparse layout) or dense gradients where the graph demands them
+  (e.g. the fused attention's full-table entity gradient);
+* the parent merges the per-shard gradients with the order-invariant
+  row-union reduction (:func:`repro.autograd.optim.merge_row_grads`) and
+  applies one optimizer step per batch.
+
+Determinism
+-----------
+
+``num_workers=N`` is **bit-identical for any N** given the same seed:
+
+* the shard split is a pure function of the batch (``np.array_split``),
+  never of the worker count — workers only decide *where* a shard is
+  computed (statically, ``shard % num_workers``), not *what* it is;
+* every per-epoch random draw (neighbor tables, negatives, shuffle) comes
+  from streams derived purely from ``(seed, stream, epoch)`` via
+  :func:`repro.utils.rng.derive_rng`, so parent and workers rebuild
+  identical epoch state regardless of process boundaries;
+* the gradient merge is invariant to the order contributions arrive in
+  (canonical value-sorted accumulation), and the batch loss is summed in
+  shard order.
+
+``num_workers=1`` runs the identical sharded algorithm in-process (no
+subprocess, no shared memory) — it is the reference the parity tests
+compare the pool against, and the automatic fallback when the platform
+lacks shared memory.
+
+The engine's epoch numerics intentionally differ from the legacy
+single-process loop (``TrainerConfig.num_workers=0``): shard losses are
+scaled by ``n_shard / n_batch`` before backward and summed, which is a
+different (equally valid) floating-point association than one fused
+batch.  Choose a mode per experiment; both are individually
+deterministic.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.optim import Optimizer, merge_dense_grads, merge_row_grads
+from repro.data.negative_sampling import PositivePairIndex, sample_training_negatives
+from repro.utils.rng import derive_rng
+
+#: Stream tags for :func:`derive_rng` — all processes of a run derive the
+#: epoch-``e`` stream as ``derive_rng(seed, STREAM, e)``.
+STREAM_SAMPLER = 101
+STREAM_NEGATIVES = 211
+
+_RESULT_TIMEOUT_S = 600.0
+_READY_TIMEOUT_S = 300.0
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` actually works here."""
+    try:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(create=True, size=8)
+        block.close()
+        block.unlink()
+        return True
+    except Exception:
+        return False
+
+
+def _attach_shared_memory(name: str):
+    """Attach to an existing block without resource-tracker ownership.
+
+    Python < 3.13 has no ``track=False``; attaching still registers the
+    block with the child's resource tracker, which at worst emits leak
+    warnings at exit — the parent remains the only unlinker either way.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Epoch state shared by parent and workers (pure functions of the seed)
+# ----------------------------------------------------------------------
+def prepare_model_epoch(model, seed: int, epoch: int) -> None:
+    """Put ``model`` into its epoch-``epoch`` state, reproducibly.
+
+    Models with a per-epoch resampled :class:`NeighborSampler` get their
+    tables redrawn from the derived ``(seed, STREAM_SAMPLER, epoch)``
+    stream — a pure function of the arguments, so every process lands on
+    the same tables.  Other models fall back to their own
+    ``begin_epoch`` hook (a no-op for every baseline in this repo).
+    """
+    sampler = getattr(model, "sampler", None)
+    config = getattr(model, "config", None)
+    if sampler is not None and getattr(config, "resample_each_epoch", False):
+        sampler.resample(rng=derive_rng(seed, STREAM_SAMPLER, epoch))
+    else:
+        model.begin_epoch(epoch)
+
+
+def _epoch_plan(model, all_positives, index, seed: int, epoch: int, shuffle: bool):
+    """Training pairs, negatives, and visit order for one epoch.
+
+    Every array is a pure function of ``(dataset, seed, epoch)`` — no
+    process-local RNG state — so parent and workers compute it
+    independently and identically.
+    """
+    train = model.dataset.train
+    negatives = sample_training_negatives(
+        train,
+        all_positives,
+        model.dataset.n_items,
+        derive_rng(seed, STREAM_NEGATIVES, epoch),
+        index=index,
+    )
+    order = (
+        np.random.default_rng(seed + epoch).permutation(len(train.users))
+        if shuffle
+        else np.arange(len(train.users))
+    )
+    return train.users, train.items, negatives, order
+
+
+# ----------------------------------------------------------------------
+# Shard computation (identical code path in parent and workers)
+# ----------------------------------------------------------------------
+def _enable_row_tracking(params: Sequence) -> None:
+    """Turn on touched-row bookkeeping for embedding-shaped parameters.
+
+    Mirrors what a sparse optimizer's ``_manage`` does, minus the refresh
+    hook — workers have no optimizer, and the in-process executor needs
+    the same tagging even under a dense optimizer so both modes produce
+    the same (rows vs dense) gradient exchange format.
+    """
+    for p in params:
+        if p.data.ndim == 2 and p._sparse_touched is None:
+            p._sparse_touched = []
+
+
+def _extract_grad(p):
+    """Read one parameter's gradient in exchange format.
+
+    Returns ``None`` (no gradient), ``("dense", array)``, or
+    ``("rows", rows, vals)`` with unique sorted rows.
+    """
+    if p.grad is None:
+        return None
+    touched = p._sparse_touched
+    if touched is not None and not p._saw_dense_grad and touched:
+        rows = np.unique(
+            np.concatenate([np.asarray(t, dtype=np.int64).ravel() for t in touched])
+        )
+        return ("rows", rows, p.grad[rows])
+    return ("dense", p.grad)
+
+
+def _compute_shard_grads(model, params, users, pos_items, neg_items, scale):
+    """Forward/backward one shard; returns ``(loss_value, grads)``.
+
+    The backward seed is scaled by ``n_shard / n_batch`` so that summing
+    shard gradients reproduces the batch-mean loss gradient; the returned
+    loss is the *unscaled* shard mean (the caller reweights when
+    accumulating the batch loss).
+    """
+    for p in params:
+        p.zero_grad()
+    loss = model.loss(users, pos_items, neg_items)
+    loss_value = loss.item()
+    ops.mul(loss, float(scale)).backward()
+    return loss_value, [_extract_grad(p) for p in params]
+
+
+def _shard_slices(batch_indices: np.ndarray, n_shards: int) -> List[np.ndarray]:
+    """Contiguous equal split of a batch into shards (worker-count free)."""
+    return np.array_split(batch_indices, n_shards)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory layout
+# ----------------------------------------------------------------------
+def _param_layout(params: Sequence) -> List[Dict[str, Any]]:
+    """Flat float64 snapshot layout + per-shard gradient slot layout.
+
+    Each parameter gets a value region of its full size (used both for
+    dense gradients and, prefix-packed, for sparse row values) and — for
+    2-D parameters — an int64 row region sized for the worst case (every
+    row touched).
+    """
+    layout: List[Dict[str, Any]] = []
+    val_off = 0
+    row_off = 0
+    for p in params:
+        row_cap = int(p.data.shape[0]) if p.data.ndim == 2 else 0
+        layout.append(
+            {
+                "shape": tuple(int(n) for n in p.data.shape),
+                "size": int(p.data.size),
+                "val_off": val_off,
+                "row_off": row_off if row_cap else -1,
+                "row_cap": row_cap,
+            }
+        )
+        val_off += int(p.data.size)
+        row_off += row_cap
+    return layout
+
+
+def _write_snapshot(view: np.ndarray, params: Sequence, layout) -> None:
+    for p, meta in zip(params, layout):
+        view[meta["val_off"] : meta["val_off"] + meta["size"]] = p.data.ravel()
+
+
+def _load_snapshot(view: np.ndarray, params: Sequence, layout) -> None:
+    for p, meta in zip(params, layout):
+        flat = view[meta["val_off"] : meta["val_off"] + meta["size"]]
+        p.data = np.array(flat, dtype=np.float64).reshape(meta["shape"])
+
+
+def _write_shard_grads(val_row, row_row, layout, grads):
+    """Serialize one shard's gradients into its slot; returns the tags."""
+    tags: List[Optional[Tuple]] = []
+    for meta, grad in zip(layout, grads):
+        if grad is None:
+            tags.append(None)
+        elif grad[0] == "dense":
+            val_row[meta["val_off"] : meta["val_off"] + meta["size"]] = grad[1].ravel()
+            tags.append(("dense",))
+        else:
+            rows, vals = grad[1], grad[2]
+            row_row[meta["row_off"] : meta["row_off"] + rows.size] = rows
+            val_row[meta["val_off"] : meta["val_off"] + vals.size] = vals.ravel()
+            tags.append(("rows", int(rows.size)))
+    return tags
+
+
+def _read_shard_grad(val_row, row_row, meta, tag):
+    """Deserialize one parameter's gradient from a shard slot (copies)."""
+    if tag is None:
+        return None
+    if tag[0] == "dense":
+        flat = val_row[meta["val_off"] : meta["val_off"] + meta["size"]]
+        return ("dense", np.array(flat).reshape(meta["shape"]))
+    n_rows = tag[1]
+    rows = np.array(row_row[meta["row_off"] : meta["row_off"] + n_rows])
+    n_cols = meta["size"] // meta["shape"][0] if meta["shape"][0] else 0
+    flat = val_row[meta["val_off"] : meta["val_off"] + n_rows * n_cols]
+    return ("rows", rows, np.array(flat).reshape(n_rows, n_cols))
+
+
+def _densify(grad, shape):
+    if grad is None or grad[0] == "dense":
+        return None if grad is None else grad[1]
+    dense = np.zeros(shape)
+    dense[grad[1]] += grad[2]
+    return dense
+
+
+def _merge_param(parts, meta):
+    """Reduce one parameter's per-shard gradients (shard order given).
+
+    Row parts merge by row union; if *any* shard produced a dense
+    gradient (full-table adjoints), everything is densified first.  Both
+    reductions are order-invariant, so the result does not depend on
+    which worker computed which shard.
+    """
+    if all(part is None for part in parts):
+        return None
+    if any(part is not None and part[0] == "dense" for part in parts):
+        return ("dense", merge_dense_grads(_densify(p, meta["shape"]) for p in parts))
+    n_cols = meta["size"] // meta["shape"][0]
+    rows, vals = merge_row_grads(
+        (None if p is None else (p[1], p[2]) for p in parts), n_cols
+    )
+    if rows.size == 0:
+        return None
+    return ("rows", rows, vals)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Persistent worker loop: epoch prep, then per-batch shard compute.
+
+    The (large) init payload arrives as the first task-queue message
+    rather than through ``Process`` args: the spawn launch pipe is
+    written synchronously by the parent's main thread, so a worker that
+    dies before reading it would deadlock ``Process.start`` once the
+    payload outgrows the pipe buffer.  Queue feeder threads don't have
+    that failure mode.
+    """
+    shms = []
+    try:
+        init = task_queue.get()[1]
+        model = pickle.loads(init["model"])
+        params = model.parameters()
+        _enable_row_tracking(params)
+        layout = init["layout"]
+        seed = init["seed"]
+        n_shards = init["n_shards"]
+        num_workers = init["num_workers"]
+        batch_size = init["batch_size"]
+        all_positives = model.dataset.all_positive_items()
+        index = PositivePairIndex(all_positives, model.dataset.n_items)
+
+        param_shm = _attach_shared_memory(init["param_shm"])
+        val_shm = _attach_shared_memory(init["val_shm"])
+        shms = [param_shm, val_shm]
+        param_view = np.ndarray(
+            (init["val_total"],), dtype=np.float64, buffer=param_shm.buf
+        )
+        val_view = np.ndarray(
+            (n_shards, init["val_total"]), dtype=np.float64, buffer=val_shm.buf
+        )
+        row_view = None
+        if init["row_total"]:
+            row_shm = _attach_shared_memory(init["row_shm"])
+            shms.append(row_shm)
+            row_view = np.ndarray(
+                (n_shards, init["row_total"]), dtype=np.int64, buffer=row_shm.buf
+            )
+
+        plan = None
+        result_queue.put(("ready", worker_id))
+        while True:
+            msg = task_queue.get()
+            if msg[0] == "stop":
+                break
+            if msg[0] == "epoch":
+                epoch = msg[1]
+                prepare_model_epoch(model, seed, epoch)
+                plan = _epoch_plan(
+                    model, all_positives, index, seed, epoch, init["shuffle"]
+                )
+                continue
+            # ("batch", b)
+            b = msg[1]
+            users, pos_items, neg_items, order = plan
+            tick = time.perf_counter()
+            _load_snapshot(param_view, params, layout)
+            batch = order[b * batch_size : (b + 1) * batch_size]
+            shards = _shard_slices(batch, n_shards)
+            summaries = []
+            for s in range(worker_id, n_shards, num_workers):
+                part = shards[s]
+                if part.size == 0:
+                    summaries.append((s, 0, 0.0, None))
+                    continue
+                scale = part.size / batch.size
+                loss_value, grads = _compute_shard_grads(
+                    model,
+                    params,
+                    users[part],
+                    pos_items[part],
+                    neg_items[part],
+                    scale,
+                )
+                tags = _write_shard_grads(val_view[s], row_view[s] if row_view is not None else None, layout, grads)
+                summaries.append((s, int(part.size), loss_value, tags))
+            busy = time.perf_counter() - tick
+            result_queue.put(("done", worker_id, b, summaries, busy))
+    except Exception:  # surface the full traceback to the parent
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class EpochResult:
+    """Outcome of one engine epoch."""
+
+    mean_loss: float = 0.0
+    n_batches: int = 0
+    n_examples: int = 0
+    grad_norm_sum: float = 0.0
+
+
+class ParallelEpochEngine:
+    """Sharded epoch executor over ``num_workers`` processes.
+
+    ``num_workers=1`` (or any environment without working shared memory)
+    runs the same sharded algorithm in-process; ``num_workers>=2`` spawns
+    a persistent pool.  Both produce bit-identical parameters for the
+    same seed.  Use as::
+
+        engine = ParallelEpochEngine(model, optimizer, seed=0, num_workers=4)
+        engine.start()
+        try:
+            result = engine.run_epoch(epoch)
+        finally:
+            engine.close()
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer: Optimizer,
+        seed: int,
+        num_workers: int,
+        n_shards: int = 4,
+        shuffle: bool = True,
+        batch_size: Optional[int] = None,
+        tracer=None,
+    ):
+        if num_workers < 1:
+            raise ValueError("ParallelEpochEngine needs num_workers >= 1")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.model = model
+        self.optimizer = optimizer
+        self.seed = int(seed)
+        self.num_workers = int(num_workers)
+        self.n_shards = int(n_shards)
+        self.shuffle = bool(shuffle)
+        self.batch_size = int(batch_size or model.batch_size)
+        from repro.obs.events import NULL_TRACER
+
+        self.tracer = tracer or NULL_TRACER
+        self.params = model.parameters()
+        self.layout = _param_layout(self.params)
+        self.mode = (
+            "process"
+            if self.num_workers >= 2 and shared_memory_available()
+            else "inprocess"
+        )
+        self._all_positives = model.dataset.all_positive_items()
+        self._index = PositivePairIndex(self._all_positives, model.dataset.n_items)
+        self._procs: List = []
+        self._task_queues: List = []
+        self._result_queue = None
+        self._shms: List = []
+        self._param_view = None
+        self._val_view = None
+        self._row_view = None
+        self._started = False
+        #: Cumulative wall-time accounting across epochs (see summary()).
+        self.stats: Dict[str, Any] = {
+            "mode": self.mode,
+            "num_workers": self.num_workers,
+            "n_shards": self.n_shards,
+            "epochs": 0,
+            "wall_s": 0.0,
+            "prepare_s": 0.0,
+            "compute_s": 0.0,
+            "sync_wait_s": 0.0,
+            "reduce_s": 0.0,
+            "apply_s": 0.0,
+            "snapshot_s": 0.0,
+            "worker_busy_s": [0.0] * self.num_workers,
+        }
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker pool (no-op in in-process mode)."""
+        if self._started:
+            return
+        self._started = True
+        if self.mode == "inprocess":
+            _enable_row_tracking(self.params)
+            return
+        import multiprocessing as mp
+        from multiprocessing import shared_memory
+
+        val_total = sum(meta["size"] for meta in self.layout)
+        row_total = sum(meta["row_cap"] for meta in self.layout)
+        param_shm = shared_memory.SharedMemory(create=True, size=max(8, val_total * 8))
+        val_shm = shared_memory.SharedMemory(
+            create=True, size=max(8, self.n_shards * val_total * 8)
+        )
+        self._shms = [param_shm, val_shm]
+        row_shm_name = ""
+        if row_total:
+            row_shm = shared_memory.SharedMemory(
+                create=True, size=self.n_shards * row_total * 8
+            )
+            self._shms.append(row_shm)
+            row_shm_name = row_shm.name
+            self._row_view = np.ndarray(
+                (self.n_shards, row_total), dtype=np.int64, buffer=row_shm.buf
+            )
+        self._param_view = np.ndarray(
+            (val_total,), dtype=np.float64, buffer=param_shm.buf
+        )
+        self._val_view = np.ndarray(
+            (self.n_shards, val_total), dtype=np.float64, buffer=val_shm.buf
+        )
+        self.optimizer.flush()
+        _write_snapshot(self._param_view, self.params, self.layout)
+
+        # Attention observers hold arbitrary callables (often closures);
+        # they are parent-side observability and must not ship to workers.
+        observers = getattr(self.model, "_attention_observers", None)
+        if observers:
+            self.model._attention_observers = []
+        try:
+            model_bytes = pickle.dumps(self.model)
+        finally:
+            if observers:
+                self.model._attention_observers = observers
+
+        init = {
+            "model": model_bytes,
+            "seed": self.seed,
+            "n_shards": self.n_shards,
+            "num_workers": self.num_workers,
+            "batch_size": self.batch_size,
+            "shuffle": self.shuffle,
+            "layout": self.layout,
+            "param_shm": param_shm.name,
+            "val_shm": val_shm.name,
+            "row_shm": row_shm_name,
+            "val_total": val_total,
+            "row_total": row_total,
+        }
+        ctx = mp.get_context("spawn")
+        self._result_queue = ctx.Queue()
+        for wid in range(self.num_workers):
+            task_queue = ctx.Queue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(wid, task_queue, self._result_queue),
+                daemon=True,
+            )
+            proc.start()
+            task_queue.put(("init", init))
+            self._task_queues.append(task_queue)
+            self._procs.append(proc)
+        ready = set()
+        deadline = time.monotonic() + _READY_TIMEOUT_S
+        while len(ready) < self.num_workers:
+            msg = self._collect(deadline - time.monotonic())
+            if msg[0] == "error":
+                raise RuntimeError(
+                    f"parallel worker {msg[1]} failed during startup:\n{msg[2]}"
+                )
+            ready.add(msg[1])
+
+    def _collect(self, timeout: float):
+        """One result-queue message, with liveness checks."""
+        deadline = time.monotonic() + max(0.1, timeout)
+        while True:
+            try:
+                return self._result_queue.get(timeout=min(5.0, max(0.1, deadline - time.monotonic())))
+            except queue_mod.Empty:
+                dead = [i for i, proc in enumerate(self._procs) if not proc.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"parallel worker(s) {dead} died without reporting an error"
+                    ) from None
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        "timed out waiting for parallel workers"
+                    ) from None
+
+    # ------------------------------------------------------------------
+    def run_epoch(self, epoch: int, on_batch=None, want_grad_norms: bool = False) -> EpochResult:
+        """One full pass; returns the epoch's loss/statistics.
+
+        ``on_batch(batch_start, loss_value, grad_norm_or_None)`` is called
+        after each batch's reduction and before the optimizer step —
+        raising from it aborts the epoch (health-monitor integration).
+        """
+        if not self._started:
+            self.start()
+        wall_tick = time.perf_counter()
+        stats = self.stats
+        with self.tracer.span(
+            "parallel_epoch",
+            epoch=epoch,
+            mode=self.mode,
+            workers=self.num_workers,
+            shards=self.n_shards,
+        ) as span:
+            tick = time.perf_counter()
+            prepare_model_epoch(self.model, self.seed, epoch)
+            plan = _epoch_plan(
+                self.model, self._all_positives, self._index,
+                self.seed, epoch, self.shuffle,
+            )
+            users, pos_items, neg_items, order = plan
+            if self.mode == "process":
+                for task_queue in self._task_queues:
+                    task_queue.put(("epoch", epoch))
+            stats["prepare_s"] += time.perf_counter() - tick
+
+            result = EpochResult(n_examples=len(users))
+            total_loss = 0.0
+            for b, start in enumerate(range(0, len(users), self.batch_size)):
+                batch = order[start : start + self.batch_size]
+                if self.mode == "process":
+                    parts, batch_loss = self._run_batch_process(b, batch)
+                else:
+                    parts, batch_loss = self._run_batch_inprocess(
+                        batch, users, pos_items, neg_items
+                    )
+                tick = time.perf_counter()
+                merged = [
+                    _merge_param(param_parts, meta)
+                    for param_parts, meta in zip(parts, self.layout)
+                ]
+                grad_norm = self._grad_norm(merged) if want_grad_norms else None
+                stats["reduce_s"] += time.perf_counter() - tick
+                if on_batch is not None:
+                    on_batch(start, batch_loss, grad_norm)
+                tick = time.perf_counter()
+                self._apply(merged)
+                stats["apply_s"] += time.perf_counter() - tick
+                if self.mode == "process":
+                    tick = time.perf_counter()
+                    _write_snapshot(self._param_view, self.params, self.layout)
+                    stats["snapshot_s"] += time.perf_counter() - tick
+                total_loss += batch_loss
+                result.n_batches += 1
+                if grad_norm is not None:
+                    result.grad_norm_sum += grad_norm
+            result.mean_loss = total_loss / max(1, result.n_batches)
+            wall = time.perf_counter() - wall_tick
+            stats["wall_s"] += wall
+            stats["epochs"] += 1
+            if self.tracer.enabled:
+                span.set(
+                    batches=result.n_batches,
+                    mean_loss=result.mean_loss,
+                    wall_s=wall,
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_batch_inprocess(self, batch, users, pos_items, neg_items):
+        """Compute every shard in shard order on the parent model."""
+        stats = self.stats
+        tick = time.perf_counter()
+        parts = [[None] * self.n_shards for _ in self.params]
+        batch_loss = 0.0
+        for s, part in enumerate(_shard_slices(batch, self.n_shards)):
+            if part.size == 0:
+                continue
+            scale = part.size / batch.size
+            loss_value, grads = _compute_shard_grads(
+                self.model,
+                self.params,
+                users[part],
+                pos_items[part],
+                neg_items[part],
+                scale,
+            )
+            batch_loss += loss_value * scale
+            for j, grad in enumerate(grads):
+                parts[j][s] = grad
+        stats["compute_s"] += time.perf_counter() - tick
+        stats["worker_busy_s"][0] += time.perf_counter() - tick
+        return parts, batch_loss
+
+    def _run_batch_process(self, b: int, batch):
+        """Dispatch batch ``b`` to the pool and collect its shard grads."""
+        stats = self.stats
+        for task_queue in self._task_queues:
+            task_queue.put(("batch", b))
+        tick = time.perf_counter()
+        summaries: Dict[int, Tuple] = {}
+        remaining = set(range(self.num_workers))
+        while remaining:
+            msg = self._collect(_RESULT_TIMEOUT_S)
+            if msg[0] == "error":
+                raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
+            _, wid, msg_b, worker_summaries, busy = msg
+            if msg_b != b:  # stale message from an aborted epoch
+                continue
+            for summary in worker_summaries:
+                summaries[summary[0]] = summary
+            stats["worker_busy_s"][wid] += busy
+            remaining.discard(wid)
+        stats["sync_wait_s"] += time.perf_counter() - tick
+
+        tick = time.perf_counter()
+        parts = [[None] * self.n_shards for _ in self.params]
+        batch_loss = 0.0
+        for s in range(self.n_shards):
+            _, n_examples, loss_value, tags = summaries[s]
+            if not n_examples:
+                continue
+            batch_loss += loss_value * (n_examples / batch.size)
+            row_row = self._row_view[s] if self._row_view is not None else None
+            for j, meta in enumerate(self.layout):
+                parts[j][s] = _read_shard_grad(
+                    self._val_view[s], row_row, meta, tags[j]
+                )
+        stats["reduce_s"] += time.perf_counter() - tick
+        return parts, batch_loss
+
+    # ------------------------------------------------------------------
+    def _apply(self, merged) -> None:
+        """One optimizer step from pre-reduced gradients, then flush.
+
+        The flush keeps every lazily-managed row current so the next
+        snapshot (and any direct ``.data`` read) sees final values; the
+        lazy path is bit-identical to eager, so this does not change the
+        numbers — only when they land.
+        """
+        optimizer = self.optimizer
+        optimizer.zero_grad()
+        for p, grad in zip(self.params, merged):
+            if grad is None:
+                continue
+            if grad[0] == "dense":
+                p.grad = grad[1]
+            else:
+                optimizer.set_row_grad(p, grad[1], grad[2])
+        optimizer.step()
+        optimizer.flush()
+
+    @staticmethod
+    def _grad_norm(merged) -> float:
+        total = 0.0
+        for grad in merged:
+            if grad is None:
+                continue
+            vals = grad[1] if grad[0] == "dense" else grad[2]
+            total += float(np.sum(vals * vals))
+        return float(np.sqrt(total))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Cumulative accounting for run records / benchmarks.
+
+        ``accounted_fraction`` is the share of engine wall time explained
+        by the instrumented phases (prepare, compute/sync, reduce, apply,
+        snapshot) — the profiler-style ≥0.9 sanity check for the parallel
+        path.
+        """
+        stats = dict(self.stats)
+        stats["worker_busy_s"] = [round(v, 6) for v in self.stats["worker_busy_s"]]
+        explained = (
+            stats["prepare_s"]
+            + stats["compute_s"]
+            + stats["sync_wait_s"]
+            + stats["reduce_s"]
+            + stats["apply_s"]
+            + stats["snapshot_s"]
+        )
+        stats["accounted_fraction"] = (
+            explained / stats["wall_s"] if stats["wall_s"] > 0 else 1.0
+        )
+        return stats
+
+    def close(self) -> None:
+        """Stop workers and release shared memory (idempotent)."""
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for task_queue in self._task_queues:
+            try:
+                # A worker that died mid-run leaves its feeder thread
+                # blocked on a full pipe; never let interpreter exit wait
+                # on it.
+                task_queue.cancel_join_thread()
+                task_queue.close()
+            except Exception:
+                pass
+        if self._result_queue is not None:
+            try:
+                self._result_queue.close()
+            except Exception:
+                pass
+        # Views alias the shared buffers; drop them before unlinking.
+        self._param_view = None
+        self._val_view = None
+        self._row_view = None
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+        self._procs = []
+        self._task_queues = []
+        self._result_queue = None
+        self._shms = []
+        self._started = False

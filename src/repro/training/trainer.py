@@ -53,6 +53,16 @@ class TrainerConfig:
     shuffle: bool = True
     verbose: bool = False
     seed: int = 0
+    #: Data-parallel workers for the epoch loop.  ``0`` (default) keeps
+    #: the legacy single-process path; ``1`` runs the sharded engine
+    #: in-process; ``>=2`` spawns a persistent worker pool.  Any value
+    #: ``>=1`` is bit-identical to any other for the same seed (see
+    #: docs/training.md and :mod:`repro.training.parallel`).
+    num_workers: int = 0
+    #: Fixed shard count of the parallel engine's gradient reduction —
+    #: part of the numerics (NOT auto-scaled with ``num_workers``, which
+    #: is what makes the worker count irrelevant to the result).
+    grad_shards: int = 4
     #: Lazy row-sparse embedding updates (bit-identical to dense; see
     #: docs/autograd.md).  Escape hatch for A/B timing comparisons.
     sparse_updates: bool = True
@@ -76,6 +86,10 @@ class TrainerConfig:
             raise ValueError(f"unknown eval task {self.eval_task!r}")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.grad_shards < 1:
+            raise ValueError("grad_shards must be >= 1")
 
 
 @dataclass
@@ -121,10 +135,41 @@ class Trainer:
         #: ``RunRecord`` persisted by the most recent ``fit`` (when
         #: ``config.run_store`` is set).
         self.last_run_record = None
+        #: Lazily created ``ParallelEpochEngine`` (``num_workers >= 1``).
+        self._engine = None
 
     # ------------------------------------------------------------------
+    def _ensure_engine(self):
+        """Create/start the parallel engine on first use (workers >= 1)."""
+        if self._engine is None:
+            from repro.training.parallel import ParallelEpochEngine
+
+            self._engine = ParallelEpochEngine(
+                self.model,
+                self.optimizer,
+                seed=self.config.seed,
+                num_workers=self.config.num_workers,
+                n_shards=self.config.grad_shards,
+                shuffle=self.config.shuffle,
+                tracer=self.tracer,
+            )
+            self._engine.start()
+        return self._engine
+
+    def close(self) -> None:
+        """Release the parallel worker pool, if one was started.
+
+        ``fit`` closes the engine itself; call this only after driving
+        ``train_epoch`` manually with ``num_workers >= 1``.  Idempotent.
+        """
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
     def train_epoch(self, epoch: int) -> float:
         """One pass over the training positives; returns the mean loss."""
+        if self.config.num_workers >= 1:
+            return self._train_epoch_parallel(epoch)
         model = self.model
         cfg = self.config
         model.begin_epoch(epoch)
@@ -187,6 +232,39 @@ class Trainer:
         self.health.observe_epoch(epoch, mean_loss, mean_grad)
         return mean_loss
 
+    def _train_epoch_parallel(self, epoch: int) -> float:
+        """Engine-backed epoch (``num_workers >= 1``), same telemetry.
+
+        Epoch preparation (neighbor resampling, negatives, shuffle) is
+        done by the engine from seed-derived streams so every process
+        reproduces it; the health monitor sees the same per-batch and
+        per-epoch signals as the legacy path.
+        """
+        engine = self._ensure_engine()
+        track_grads = self.tracer.enabled or self.health.wants_grad_norms
+
+        def on_batch(start: int, loss_value: float, grad_norm) -> None:
+            if not np.isfinite(loss_value):
+                raise self.health.nonfinite_loss(
+                    self.model.name, loss_value, epoch, start
+                )
+            if track_grads:
+                self.health.observe_batch(epoch, start, loss_value, grad_norm)
+
+        result = engine.run_epoch(
+            epoch, on_batch=on_batch, want_grad_norms=track_grads
+        )
+        self.last_epoch_stats = {
+            "examples": float(result.n_examples),
+            "batches": float(result.n_batches),
+        }
+        mean_grad = None
+        if track_grads and result.n_batches:
+            mean_grad = result.grad_norm_sum / result.n_batches
+            self.last_epoch_stats["grad_norm"] = mean_grad
+        self.health.observe_epoch(epoch, result.mean_loss, mean_grad)
+        return result.mean_loss
+
     def _global_grad_norm(self) -> float:
         """L2 norm over every parameter gradient of the current batch."""
         total = 0.0
@@ -228,99 +306,107 @@ class Trainer:
         epochs_since_best = 0
         start_time = time.perf_counter()
         epoch_times: List[float] = []
+        self._parallel_summary: Dict = {}
 
-        with tracer.span(
-            "fit", model=self.model.name, dataset=self.model.dataset.name,
-            epochs=cfg.epochs,
-        ) as fit_span:
-            for epoch in range(1, cfg.epochs + 1):
-                # The epoch span brackets exactly the region timed for
-                # Table VI's t̄, so JSONL epoch durations and the reported
-                # time_per_epoch agree; eval runs in its own span.
-                with tracer.span("epoch", epoch=epoch) as epoch_span:
-                    tick = time.perf_counter()
-                    mean_loss = self.train_epoch(epoch)
-                    elapsed = time.perf_counter() - tick
+        try:
+            with tracer.span(
+                "fit", model=self.model.name, dataset=self.model.dataset.name,
+                epochs=cfg.epochs,
+            ) as fit_span:
+                for epoch in range(1, cfg.epochs + 1):
+                    # The epoch span brackets exactly the region timed for
+                    # Table VI's t̄, so JSONL epoch durations and the reported
+                    # time_per_epoch agree; eval runs in its own span.
+                    with tracer.span("epoch", epoch=epoch) as epoch_span:
+                        tick = time.perf_counter()
+                        mean_loss = self.train_epoch(epoch)
+                        elapsed = time.perf_counter() - tick
+                        if tracer.enabled:
+                            stats = self.last_epoch_stats
+                            epoch_span.set(
+                                loss=mean_loss,
+                                examples_per_sec=(
+                                    stats.get("examples", 0.0) / elapsed
+                                    if elapsed > 0
+                                    else 0.0
+                                ),
+                            )
+                            if "grad_norm" in stats:
+                                epoch_span.set(grad_norm=stats["grad_norm"])
+                    epoch_times.append(elapsed)
+
+                    record: Dict[str, float] = {"epoch": epoch, "loss": mean_loss}
+                    if cfg.eval_task != "none" and epoch % cfg.eval_every == 0:
+                        with tracer.span("eval", epoch=epoch):
+                            metrics = self.evaluate()
+                        record.update(metrics)
+                        metric = metrics.get(cfg.eval_metric)
+                        if metric is None:
+                            available = sorted(metrics)
+                            raise KeyError(
+                                f"eval metric {cfg.eval_metric!r} not produced; "
+                                f"available: {available}"
+                            )
+                        self.health.observe_eval(epoch, cfg.eval_metric, metric)
+                        if metric > result.best_metric:
+                            result.best_metric = metric
+                            result.best_epoch = epoch
+                            best_state = self.model.state_dict()
+                            best_extra = self.model.extra_state()
+                        # Patience counts *epochs*, not eval rounds: with
+                        # eval_every > 1 the paper's "non-increasing for 10
+                        # consecutive epochs" must still mean 10 epochs.
+                        epochs_since_best = epoch - result.best_epoch
+                    result.history.append(record)
                     if tracer.enabled:
-                        stats = self.last_epoch_stats
-                        epoch_span.set(
-                            loss=mean_loss,
-                            examples_per_sec=(
-                                stats.get("examples", 0.0) / elapsed
-                                if elapsed > 0
-                                else 0.0
-                            ),
+                        tracer.event(
+                            "epoch_metrics",
+                            **record,
+                            epochs_since_best=epochs_since_best,
+                            best_epoch=result.best_epoch,
                         )
-                        if "grad_norm" in stats:
-                            epoch_span.set(grad_norm=stats["grad_norm"])
-                epoch_times.append(elapsed)
-
-                record: Dict[str, float] = {"epoch": epoch, "loss": mean_loss}
-                if cfg.eval_task != "none" and epoch % cfg.eval_every == 0:
-                    with tracer.span("eval", epoch=epoch):
-                        metrics = self.evaluate()
-                    record.update(metrics)
-                    metric = metrics.get(cfg.eval_metric)
-                    if metric is None:
-                        available = sorted(metrics)
-                        raise KeyError(
-                            f"eval metric {cfg.eval_metric!r} not produced; "
-                            f"available: {available}"
+                    if cfg.verbose:
+                        self.logger.info(
+                            "[%s] %s",
+                            self.model.name,
+                            ", ".join(f"{k}={v:.4f}" for k, v in record.items()),
                         )
-                    self.health.observe_eval(epoch, cfg.eval_metric, metric)
-                    if metric > result.best_metric:
-                        result.best_metric = metric
-                        result.best_epoch = epoch
-                        best_state = self.model.state_dict()
-                        best_extra = self.model.extra_state()
-                    # Patience counts *epochs*, not eval rounds: with
-                    # eval_every > 1 the paper's "non-increasing for 10
-                    # consecutive epochs" must still mean 10 epochs.
-                    epochs_since_best = epoch - result.best_epoch
-                result.history.append(record)
-                if tracer.enabled:
-                    tracer.event(
-                        "epoch_metrics",
-                        **record,
-                        epochs_since_best=epochs_since_best,
-                        best_epoch=result.best_epoch,
-                    )
-                if cfg.verbose:
-                    self.logger.info(
-                        "[%s] %s",
-                        self.model.name,
-                        ", ".join(f"{k}={v:.4f}" for k, v in record.items()),
-                    )
-                if (
-                    cfg.eval_task != "none"
-                    and epochs_since_best >= cfg.early_stop_patience
-                ):
-                    result.stopped_early = True
-                    tracer.event(
-                        "early_stop",
-                        epoch=epoch,
-                        best_epoch=result.best_epoch,
-                        best_metric=result.best_metric,
-                        patience=cfg.early_stop_patience,
-                    )
-                    break
+                    if (
+                        cfg.eval_task != "none"
+                        and epochs_since_best >= cfg.early_stop_patience
+                    ):
+                        result.stopped_early = True
+                        tracer.event(
+                            "early_stop",
+                            epoch=epoch,
+                            best_epoch=result.best_epoch,
+                            best_metric=result.best_metric,
+                            patience=cfg.early_stop_patience,
+                        )
+                        break
 
-            if best_state is not None:
-                self.model.load_state_dict(best_state)
-                if best_extra is not None:
-                    self.model.load_extra_state(best_extra)
-            if cfg.eval_task == "none":
-                result.best_epoch = cfg.epochs
-            result.total_time = time.perf_counter() - start_time
-            result.time_per_epoch = float(np.mean(epoch_times)) if epoch_times else 0.0
-            self.health.check_embeddings(self.model)
-            fit_span.set(
-                best_epoch=result.best_epoch,
-                best_metric=result.best_metric,
-                time_per_epoch=result.time_per_epoch,
-                stopped_early=result.stopped_early,
-                anomalies=len(self.health.anomalies),
-            )
+                if best_state is not None:
+                    self.model.load_state_dict(best_state)
+                    if best_extra is not None:
+                        self.model.load_extra_state(best_extra)
+                if cfg.eval_task == "none":
+                    result.best_epoch = cfg.epochs
+                result.total_time = time.perf_counter() - start_time
+                result.time_per_epoch = float(np.mean(epoch_times)) if epoch_times else 0.0
+                self.health.check_embeddings(self.model)
+                fit_span.set(
+                    best_epoch=result.best_epoch,
+                    best_metric=result.best_metric,
+                    time_per_epoch=result.time_per_epoch,
+                    stopped_early=result.stopped_early,
+                    anomalies=len(self.health.anomalies),
+                )
+        finally:
+            # Capture pool accounting for the run record, then release
+            # the workers even when an epoch aborted (health monitor).
+            if self._engine is not None:
+                self._parallel_summary = self._engine.summary()
+            self.close()
         self._record_run(result)
         return result
 
@@ -349,6 +435,8 @@ class Trainer:
                 "lr": model.lr,
                 "l2": model.l2,
                 "batch_size": model.batch_size,
+                "num_workers": cfg.num_workers,
+                "grad_shards": cfg.grad_shards,
             },
         }
         metrics: Dict[str, float] = {}
@@ -380,6 +468,7 @@ class Trainer:
             stopped_early=result.stopped_early,
             spans=self.tracer.summary() if self.tracer.enabled else {},
             anomalies=self.health.anomalies,
+            parallel=getattr(self, "_parallel_summary", {}),
         )
         store.save(record)
         self.last_run_record = record

@@ -238,3 +238,106 @@ class TestCompositeGradients:
             return ops.mul(h, ops.reshape(g, (2, 1, 3)))
 
         assert gradcheck(fn, [head, guide])
+
+
+class TestFusedAttentionGradients:
+    """Gradcheck the PR-4 fused attention kernels at edge shapes the
+    vectorized adjoints are most likely to get wrong: a single attention
+    head, a single-relation table, missing guidance, repeated tails, and
+    parents whose every child slot is masked out (zero degree)."""
+
+    def _guided_inputs(self, rng, batch=2, width=2, k=2, dim=3, heads=2,
+                       relations=2, n_entities=5):
+        head = t(rng, batch, width, dim)
+        guidance = t(rng, batch, dim)
+        matrices = t(rng, relations, heads, dim, dim)
+        table = t(rng, n_entities, dim)
+        entities = rng.integers(0, n_entities, size=(batch, width * k))
+        rels = rng.integers(0, relations, size=(batch, width * k))
+        return head, guidance, matrices, table, entities, rels, k
+
+    def _check_guided(self, head, guidance, matrices, table, entities, rels, k):
+        from repro.core.attention import _guided_relation_scores
+
+        if guidance is None:
+            fn = lambda h, m, tab: _guided_relation_scores(
+                h, None, m, tab, entities, rels, k
+            )
+            return gradcheck(fn, [head, matrices, table])
+        fn = lambda h, g, m, tab: _guided_relation_scores(
+            h, g, m, tab, entities, rels, k
+        )
+        return gradcheck(fn, [head, guidance, matrices, table])
+
+    def test_guided_scores_general(self, rng):
+        assert self._check_guided(*self._guided_inputs(rng))
+
+    def test_guided_scores_single_head(self, rng):
+        assert self._check_guided(*self._guided_inputs(rng, heads=1))
+
+    def test_guided_scores_single_relation(self, rng):
+        assert self._check_guided(*self._guided_inputs(rng, relations=1))
+
+    def test_guided_scores_single_head_single_relation(self, rng):
+        assert self._check_guided(
+            *self._guided_inputs(rng, heads=1, relations=1)
+        )
+
+    def test_guided_scores_without_guidance(self, rng):
+        head, _, matrices, table, entities, rels, k = self._guided_inputs(rng)
+        assert self._check_guided(head, None, matrices, table, entities, rels, k)
+
+    def test_guided_scores_repeated_tails(self, rng):
+        """Every edge hits the same (tail, relation) row — the bincount
+        scatter in the adjoint must accumulate, not overwrite."""
+        head, guidance, matrices, table, _, _, k = self._guided_inputs(rng)
+        entities = np.zeros((2, 4), dtype=np.int64)
+        rels = np.ones((2, 4), dtype=np.int64)
+        assert self._check_guided(
+            head, guidance, matrices, table, entities, rels, k
+        )
+
+    def test_guided_scores_zero_degree_parent(self, rng):
+        """A parent with all children masked must pass zero gradient
+        through its (uniform) softmax row, matching finite differences."""
+        from repro.autograd import ops as aops
+        from repro.core.attention import _guided_relation_scores
+
+        batch, width, k, dim = 2, 2, 2, 3
+        head, guidance, matrices, table, entities, rels, _ = (
+            self._guided_inputs(rng, batch=batch, width=width, k=k, dim=dim)
+        )
+        mask = np.ones((batch, width, k))
+        mask[0, 1] = 0.0  # zero-degree parent
+        mask[1, 0, 1] = 0.0  # and a partially masked one
+
+        def fn(h, g, m, tab):
+            raw = _guided_relation_scores(h, g, m, tab, entities, rels, k)
+            weights = aops.masked_softmax(raw, mask[:, None, :, :], axis=-1)
+            return aops.mean(weights, axis=1)
+
+        assert gradcheck(fn, [head, guidance, matrices, table])
+
+    def test_collab_scores_general(self, rng):
+        from repro.core.attention import _collab_scores
+
+        center = t(rng, 3, 4)
+        matrix = t(rng, 2, 4, 4)
+        neighbors = t(rng, 3, 2, 4)
+        assert gradcheck(_collab_scores, [center, matrix, neighbors])
+
+    def test_collab_scores_single_head(self, rng):
+        from repro.core.attention import _collab_scores
+
+        center = t(rng, 2, 3)
+        matrix = t(rng, 1, 3, 3)
+        neighbors = t(rng, 2, 4, 3)
+        assert gradcheck(_collab_scores, [center, matrix, neighbors])
+
+    def test_collab_scores_single_neighbor(self, rng):
+        from repro.core.attention import _collab_scores
+
+        center = t(rng, 2, 3)
+        matrix = t(rng, 2, 3, 3)
+        neighbors = t(rng, 2, 1, 3)
+        assert gradcheck(_collab_scores, [center, matrix, neighbors])
