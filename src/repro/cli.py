@@ -225,6 +225,29 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _ann_params(args) -> dict:
+    """CLI knobs → IVFIndex build parameters (mode='ann' only)."""
+    return {
+        "nlist": args.nlist,
+        "nprobe": args.nprobe,
+        "pq_m": args.pq_m,
+        "seed": getattr(args, "seed", 0),
+    }
+
+
+def _report_ann_index(index) -> None:
+    stats = getattr(index, "stats", None)
+    if stats:
+        recall_k = int(stats.get("recall_k", 20))
+        recall = stats.get(f"recall@{recall_k}", 0.0)
+        print(
+            f"ann index: nlist={int(stats['nlist'])} "
+            f"nprobe={int(stats['nprobe'])} pq_m={int(stats['pq_m'])} — "
+            f"measured recall@{recall_k} = {recall:.4f} "
+            f"on {int(stats['probe_users'])} probe users"
+        )
+
+
 def cmd_export(args) -> int:
     from repro.serve import save_checkpoint
 
@@ -250,7 +273,6 @@ def cmd_export(args) -> int:
         ),
     )
     fit = trainer.fit()
-    _close_tracer(tracer)
     _report_recorded_run(trainer)
     if getattr(args, "data_dir", None):
         dataset_spec = {"data_dir": args.data_dir, "seed": args.seed}
@@ -258,6 +280,27 @@ def cmd_export(args) -> int:
         dataset_spec = {
             "profile": args.dataset, "seed": args.seed, "scale": args.scale,
         }
+    index = None
+    if args.index_mode != "none":
+        from repro.obs.events import set_default_tracer
+        from repro.serve import TopKIndex
+
+        # The index build traces through the process-default tracer
+        # (ann.build/ann.kmeans spans); install ours so they land in
+        # the same --trace file as the training run.
+        if tracer is not None:
+            set_default_tracer(tracer)
+        try:
+            index = TopKIndex.build(
+                model,
+                mask_splits=[dataset.train, dataset.valid],
+                mode=args.index_mode,
+                ann_params=_ann_params(args) if args.index_mode == "ann" else None,
+            )
+        finally:
+            set_default_tracer(None)
+        _report_ann_index(index)
+    _close_tracer(tracer)
     save_checkpoint(
         model,
         args.out,
@@ -266,10 +309,13 @@ def cmd_export(args) -> int:
             "best_epoch": fit.best_epoch,
             f"val_recall@{args.k}": fit.best_metric,
         },
+        index=index,
     )
     print(
         f"wrote checkpoint to {args.out} "
-        f"({model.num_parameters()} parameters, best epoch {fit.best_epoch})"
+        f"({model.num_parameters()} parameters, best epoch {fit.best_epoch}"
+        + (f", {index.mode} index shipped" if index is not None else "")
+        + ")"
     )
     return 0
 
@@ -279,10 +325,13 @@ def cmd_serve(args) -> int:
 
     manifest = read_manifest(args.checkpoint)
     print(f"loading {manifest['model_name']} checkpoint from {args.checkpoint}")
+    ann_params = _ann_params(args) if args.index_mode == "ann" else None
     engine = engine_from_checkpoint(
         args.checkpoint,
         mode=args.index_mode,
         cache_size=args.cache_size,
+        ann_params=ann_params,
+        use_saved_index=not args.rebuild_index,
     )
     if args.index_users and args.index_users < engine.index.n_users:
         # Re-index only the most active training users; the engine falls
@@ -298,10 +347,12 @@ def cmd_serve(args) -> int:
             users=users,
             mask_splits=[engine.model.dataset.train, engine.model.dataset.valid],
             mode=args.index_mode,
+            ann_params=ann_params,
         )
         engine = ServingEngine(
             index, model=engine.model, cache_size=args.cache_size
         )
+    _report_ann_index(engine.index)
     tracer = _make_tracer(args)
     server = create_server(
         engine,
@@ -530,21 +581,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=3)
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("export", parents=[train_common], help="train and write a serving checkpoint")
+    ann_common = argparse.ArgumentParser(add_help=False)
+    ann_common.add_argument(
+        "--nlist", type=int, default=64,
+        help="ANN coarse clusters (mode=ann; clamped to the catalogue size)",
+    )
+    ann_common.add_argument(
+        "--nprobe", type=int, default=8,
+        help="ANN clusters probed per query (mode=ann; recall/latency knob)",
+    )
+    ann_common.add_argument(
+        "--pq-m", type=int, default=0, metavar="M",
+        help="ANN product-quantization subvectors (0 = keep raw item "
+        "vectors; M must divide the embedding dim)",
+    )
+
+    p = sub.add_parser(
+        "export", parents=[train_common, ann_common],
+        help="train and write a serving checkpoint",
+    )
     p.add_argument("--model", default="cg-kgr")
     p.add_argument("--data-dir", default=None, help="load real data instead of a profile")
     p.add_argument("--out", required=True, help="checkpoint directory to create")
+    p.add_argument(
+        "--index-mode", default="none",
+        choices=["none", "auto", "factorized", "dense", "ann"],
+        help="also build this retrieval index and ship it as index.npz "
+        "(repro serve then boots without rebuilding)",
+    )
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_export)
 
-    p = sub.add_parser("serve", help="serve recommendations from a checkpoint")
+    p = sub.add_parser(
+        "serve", parents=[ann_common],
+        help="serve recommendations from a checkpoint",
+    )
     p.add_argument("--checkpoint", required=True, help="directory written by `repro export`")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
     p.add_argument("--cache-size", type=int, default=1024, help="LRU result-cache entries")
     p.add_argument("--index-users", type=int, default=0,
                    help="index only the N most active users (0 = everyone)")
-    p.add_argument("--index-mode", default="auto", choices=["auto", "factorized", "dense"])
+    p.add_argument("--index-mode", default="auto",
+                   choices=["auto", "factorized", "dense", "ann"])
+    p.add_argument("--rebuild-index", action="store_true",
+                   help="ignore a prebuilt index.npz in the checkpoint")
     p.add_argument("--batch-size", type=int, default=64, help="micro-batch size")
     p.add_argument("--no-batch", action="store_true", help="disable request micro-batching")
     p.add_argument(

@@ -6,6 +6,8 @@ the exact measurement stack behind Tables IV-XI and Figures 1/4/6.
 from repro.eval.ranking import (
     evaluate_topk,
     hit_ratio_at_k,
+    map_at_k,
+    mrr_at_k,
     ndcg_at_k,
     precision_at_k,
     recall_at_k,
@@ -18,6 +20,8 @@ __all__ = [
     "ndcg_at_k",
     "precision_at_k",
     "hit_ratio_at_k",
+    "map_at_k",
+    "mrr_at_k",
     "evaluate_topk",
     "auc_score",
     "f1_score",

@@ -150,7 +150,7 @@ def evaluate_topk(
 
     sums: Dict[str, float] = {
         f"{metric}@{k}": 0.0
-        for metric in ("recall", "ndcg", "precision", "hit")
+        for metric in ("recall", "ndcg", "precision", "hit", "map", "mrr")
         for k in k_list
     }
     if mask_table is None:
@@ -171,6 +171,8 @@ def evaluate_topk(
             sums[f"ndcg@{k}"] += ndcg_at_k(ranked_list, relevant, k)
             sums[f"precision@{k}"] += precision_at_k(ranked_list, relevant, k)
             sums[f"hit@{k}"] += hit_ratio_at_k(ranked_list, relevant, k)
+            sums[f"map@{k}"] += map_at_k(ranked_list, relevant, k)
+            sums[f"mrr@{k}"] += mrr_at_k(ranked_list, relevant, k)
 
     n = max(1, len(test_users))
     return {key: value / n for key, value in sums.items()}
@@ -184,6 +186,26 @@ def mrr_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
         if item in relevant:
             return 1.0 / (position + 1.0)
     return 0.0
+
+
+def map_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Average precision at k: mean of precision@i over relevant hits.
+
+    Normalized by ``min(|relevant|, k)`` (the best achievable hit count
+    within the cutoff), so a ranking that front-loads every reachable
+    relevant item scores 1.0 — the RecBole/trec convention.
+    """
+    if not relevant:
+        raise ValueError("map undefined for an empty relevant set")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    hits = 0
+    precision_sum = 0.0
+    for position, item in enumerate(ranked[:k]):
+        if item in relevant:
+            hits += 1
+            precision_sum += hits / (position + 1.0)
+    return precision_sum / min(len(relevant), k)
 
 
 def catalogue_coverage(

@@ -3,7 +3,9 @@
 Pipeline: train → :func:`save_checkpoint` → :func:`load_checkpoint` →
 :class:`TopKIndex` (precomputed representations) → :class:`ServingEngine`
 (cache, micro-batching, fallback) → :func:`create_server` (HTTP JSON API
-with Prometheus-style metrics). See ``docs/serving.md``.
+with Prometheus-style metrics). At catalogue scale :class:`IVFIndex`
+(``mode="ann"``) replaces the exact scan with IVF/PQ approximate
+retrieval that self-reports recall@K. See ``docs/serving.md``.
 """
 
 from repro.serve.checkpoint import (
@@ -15,11 +17,16 @@ from repro.serve.checkpoint import (
     save_checkpoint,
 )
 from repro.serve.engine import MicroBatcher, ServingEngine, engine_from_checkpoint
-from repro.serve.index import TopKIndex, topk_from_scores
+from repro.serve.index import TopKIndex, load_index, topk_from_scores
+from repro.serve.ann import IVFIndex, ProductQuantizer, kmeans
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.serve.server import RecommendationServer, create_server
 
 __all__ = [
+    "IVFIndex",
+    "ProductQuantizer",
+    "kmeans",
+    "load_index",
     "save_checkpoint",
     "load_checkpoint",
     "read_manifest",

@@ -33,6 +33,9 @@ FORMAT_VERSION = 1
 
 WEIGHTS_FILE = "weights.npz"
 MANIFEST_FILE = "manifest.json"
+#: Optional prebuilt retrieval index (``TopKIndex.save``/``IVFIndex.save``)
+#: shipped next to the weights so ``repro serve`` boots without rebuilding.
+INDEX_FILE = "index.npz"
 
 #: Class name -> CLI/registry model key (round-trips through
 #: :func:`build_model`).
@@ -91,6 +94,7 @@ def save_checkpoint(
     path: str,
     dataset_spec: Optional[dict] = None,
     metrics: Optional[Dict[str, float]] = None,
+    index=None,
 ) -> str:
     """Write ``<path>/weights.npz`` + ``<path>/manifest.json``.
 
@@ -98,6 +102,12 @@ def save_checkpoint(
     ``{"profile": "music", "seed": 0, "scale": 1.0}`` for a synthetic
     profile or ``{"data_dir": "...", "seed": 0}`` for exported files;
     without it, :func:`load_checkpoint` requires an explicit dataset.
+
+    ``index`` (a built :class:`~repro.serve.index.TopKIndex` or
+    :class:`~repro.serve.ann.IVFIndex`) is additionally serialized to
+    ``<path>/index.npz`` and summarized in the manifest, so
+    :func:`~repro.serve.engine.engine_from_checkpoint` can skip the
+    index build at boot.
     """
     os.makedirs(path, exist_ok=True)
     arrays: Dict[str, np.ndarray] = {}
@@ -113,6 +123,16 @@ def save_checkpoint(
         arrays[f"extra/{key}"] = value
     np.savez(os.path.join(path, WEIGHTS_FILE), **arrays)
 
+    index_summary = None
+    if index is not None:
+        index.save(os.path.join(path, INDEX_FILE))
+        index_summary = {
+            "mode": index.mode,
+            "indexed_users": index.n_indexed_users,
+            "memory_bytes": index.memory_bytes(),
+            "stats": getattr(index, "stats", None) or {},
+        }
+
     manifest = {
         "format_version": FORMAT_VERSION,
         "model_key": model_key_of(model),
@@ -123,6 +143,7 @@ def save_checkpoint(
         "dataset_spec": dataset_spec,
         "metrics": metrics or {},
         "n_parameters": model.num_parameters(),
+        "index": index_summary,
     }
     with open(os.path.join(path, MANIFEST_FILE), "w") as fh:
         json.dump(manifest, fh, indent=2, sort_keys=True)

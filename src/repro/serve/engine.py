@@ -19,6 +19,7 @@ request latency lands in the ``recommend_latency_seconds`` histogram.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -42,6 +43,8 @@ def engine_from_checkpoint(
     mode: str = "auto",
     cache_size: int = 1024,
     metrics: Optional[MetricsRegistry] = None,
+    ann_params: Optional[dict] = None,
+    use_saved_index: bool = True,
 ) -> "ServingEngine":
     """Checkpoint directory → ready-to-serve engine (offline → online).
 
@@ -49,14 +52,37 @@ def engine_from_checkpoint(
     precomputes the retrieval index over ``users`` (default: everyone)
     with the user's known history masked, and attaches the model for
     cold-user fallback.
+
+    A checkpoint exported with a prebuilt index (``repro export
+    --index-mode ...`` writes ``index.npz`` next to the weights) boots
+    without rebuilding, when the saved index covers the request
+    (``users=None`` and a compatible ``mode``); ``use_saved_index=False``
+    forces a rebuild. ``mode="ann"`` builds the approximate
+    :class:`~repro.serve.ann.IVFIndex` with ``ann_params``
+    (``nlist``/``nprobe``/``pq_m``/...).
     """
-    from repro.serve.checkpoint import load_checkpoint
+    from repro.serve.checkpoint import INDEX_FILE, load_checkpoint
 
     model = load_checkpoint(path, dataset)
-    mask_splits = [model.dataset.train]
-    if mask_valid:
-        mask_splits.append(model.dataset.valid)
-    index = TopKIndex.build(model, users=users, mask_splits=mask_splits, mode=mode)
+    index = None
+    index_path = os.path.join(path, INDEX_FILE)
+    if use_saved_index and users is None and os.path.exists(index_path):
+        from repro.serve.index import load_index
+
+        saved = load_index(index_path)
+        if mode in ("auto", saved.mode):
+            index = saved
+    if index is None:
+        mask_splits = [model.dataset.train]
+        if mask_valid:
+            mask_splits.append(model.dataset.valid)
+        index = TopKIndex.build(
+            model,
+            users=users,
+            mask_splits=mask_splits,
+            mode=mode,
+            ann_params=ann_params,
+        )
     return ServingEngine(index, model=model, cache_size=cache_size, metrics=metrics)
 
 
@@ -76,6 +102,13 @@ class ServingEngine:
         self.metrics = metrics or MetricsRegistry()
         self._cache: "OrderedDict[Tuple[int, int, bool], Result]" = OrderedDict()
         self._lock = threading.RLock()
+        # An approximate index carries its build-time self-measurement
+        # (recall@K vs exact, nlist/nprobe/pq_m); surface it as gauges so
+        # /metrics exports the retrieval quality next to the latency.
+        for key, value in (getattr(index, "stats", None) or {}).items():
+            self.metrics.set_gauge(
+                f"ann_{key.replace('@', '_at_')}", float(value)
+            )
 
     # ------------------------------------------------------------------
     def _cache_get(self, key) -> Optional[Result]:

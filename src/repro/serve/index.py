@@ -17,10 +17,17 @@ Either way the query path is: score row → per-user seen-item mask
 evaluation mask identically) → ``np.argpartition`` top-K with the same
 tie-breaking as the brute-force protocol (descending score, ascending
 item id). Top-K equality with :func:`evaluate_topk` is test-enforced.
+
+A third mode, ``"ann"``, dispatches to the approximate
+:class:`repro.serve.ann.IVFIndex` (same query surface, measured recall
+instead of exactness) for catalogues where the O(items) scan is too
+slow; :func:`load_index` reloads either kind from its ``.npz``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -62,6 +69,10 @@ def topk_from_scores(
 class TopKIndex:
     """Precomputed user→item retrieval over a trained recommender."""
 
+    #: Modes a class accepts; :class:`repro.serve.ann.IVFIndex` narrows
+    #: this to ``("ann",)`` while reusing the rest of the constructor.
+    _MODES = ("factorized", "dense")
+
     def __init__(
         self,
         user_ids: np.ndarray,
@@ -74,7 +85,7 @@ class TopKIndex:
         score_rows: Optional[np.ndarray] = None,
         block_size: int = 256,
     ):
-        if mode not in ("factorized", "dense"):
+        if mode not in self._MODES:
             raise ValueError(f"unknown index mode {mode!r}")
         self.user_ids = np.asarray(user_ids, dtype=np.int64)
         self.n_users = int(n_users)
@@ -97,15 +108,33 @@ class TopKIndex:
         mask_splits: Optional[Sequence[InteractionGraph]] = None,
         mode: str = "auto",
         block_size: int = 256,
+        ann_params: Optional[dict] = None,
     ) -> "TopKIndex":
         """Precompute representations (or score rows) for ``users``.
 
         ``users=None`` indexes the full user id space; pass a subset to
         bound memory on large catalogues — the serving engine falls back
         to on-the-fly scoring for users left out.
+
+        ``mode="ann"`` builds the approximate
+        :class:`~repro.serve.ann.IVFIndex` instead (same query surface;
+        ``ann_params`` forwards ``nlist``/``nprobe``/``pq_m``/``seed``
+        etc. to :meth:`IVFIndex.from_representations`).
         """
-        if mode not in ("auto", "factorized", "dense"):
+        if mode not in ("auto", "factorized", "dense", "ann"):
             raise ValueError(f"unknown index mode {mode!r}")
+        if mode == "ann":
+            from repro.serve.ann import IVFIndex
+
+            return IVFIndex.build(
+                model,
+                users=users,
+                mask_splits=mask_splits,
+                block_size=block_size,
+                **(ann_params or {}),
+            )
+        if ann_params:
+            raise ValueError("ann_params only apply to mode='ann'")
         dataset = model.dataset
         if users is None:
             user_ids = np.arange(dataset.n_users, dtype=np.int64)
@@ -200,3 +229,98 @@ class TopKIndex:
             masked = self.mask_table[int(user)] if mask_seen else None
             items[pos], values[pos] = topk_from_scores(scores[pos], k_eff, masked)
         return items, values
+
+    # ------------------------------------------------------------------
+    # Serialization: one .npz per index, so a built index ships with the
+    # checkpoint (`repro export --index-mode ...`) instead of being
+    # rebuilt on every `repro serve` boot.
+    # ------------------------------------------------------------------
+    def _pack_mask_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Ragged per-user mask arrays → (concat items, offsets)."""
+        lengths = np.fromiter(
+            (len(row) for row in self.mask_table),
+            dtype=np.int64,
+            count=len(self.mask_table),
+        )
+        offsets = np.zeros(len(self.mask_table) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        items = (
+            np.concatenate(self.mask_table)
+            if len(self.mask_table)
+            else np.empty(0, dtype=np.int64)
+        ).astype(np.int64)
+        return items, offsets
+
+    @staticmethod
+    def _unpack_mask_table(
+        items: np.ndarray, offsets: np.ndarray
+    ) -> List[np.ndarray]:
+        items = np.asarray(items, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        return [
+            items[offsets[u] : offsets[u + 1]] for u in range(len(offsets) - 1)
+        ]
+
+    def save(self, path: str) -> str:
+        """Serialize the exact index to one ``.npz`` file, bit-exactly."""
+        mask_items, mask_offsets = self._pack_mask_table()
+        meta = {
+            "kind": "exact",
+            "mode": self.mode,
+            "n_users": self.n_users,
+            "n_items": self.n_items,
+            "block_size": self.block_size,
+        }
+        arrays = {
+            "meta": np.array(json.dumps(meta)),
+            "user_ids": self.user_ids,
+            "mask_items": mask_items,
+            "mask_offsets": mask_offsets,
+        }
+        if self._user_reps is not None:
+            arrays["user_reps"] = self._user_reps
+        if self._item_reps is not None:
+            arrays["item_reps"] = self._item_reps
+        if self._score_rows is not None:
+            arrays["score_rows"] = self._score_rows
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        np.savez(path, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "TopKIndex":
+        with np.load(path) as payload:
+            meta = json.loads(str(payload["meta"]))
+            if meta.get("kind") != "exact":
+                raise ValueError(
+                    f"{path} holds a {meta.get('kind')!r} index; "
+                    "use load_index() to dispatch on kind"
+                )
+            mask_table = cls._unpack_mask_table(
+                payload["mask_items"], payload["mask_offsets"]
+            )
+            return cls(
+                payload["user_ids"],
+                int(meta["n_users"]),
+                int(meta["n_items"]),
+                meta["mode"],
+                mask_table,
+                user_reps=payload["user_reps"] if "user_reps" in payload.files else None,
+                item_reps=payload["item_reps"] if "item_reps" in payload.files else None,
+                score_rows=payload["score_rows"] if "score_rows" in payload.files else None,
+                block_size=int(meta["block_size"]),
+            )
+
+
+def load_index(path: str) -> TopKIndex:
+    """Load any saved index, dispatching exact vs ANN on its metadata."""
+    with np.load(path) as payload:
+        kind = json.loads(str(payload["meta"])).get("kind")
+    if kind == "exact":
+        return TopKIndex.load(path)
+    if kind == "ivf":
+        from repro.serve.ann import IVFIndex
+
+        return IVFIndex.load(path)
+    raise ValueError(f"unknown index kind {kind!r} in {path}")

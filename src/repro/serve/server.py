@@ -139,17 +139,24 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 if url.path == "/healthz":
                     engine = self.server.engine
-                    self._send_json(
-                        {
-                            "status": "ok",
-                            "model": engine.model.name if engine.model else None,
-                            "index_mode": engine.index.mode,
-                            "indexed_users": engine.index.n_indexed_users,
-                            "n_users": engine.index.n_users,
-                            "n_items": engine.index.n_items,
-                            "index_bytes": engine.index.memory_bytes(),
-                        }
-                    )
+                    payload = {
+                        "status": "ok",
+                        "model": engine.model.name if engine.model else None,
+                        "index_mode": engine.index.mode,
+                        "indexed_users": engine.index.n_indexed_users,
+                        "n_users": engine.index.n_users,
+                        "n_items": engine.index.n_items,
+                        "index_bytes": engine.index.memory_bytes(),
+                    }
+                    stats = getattr(engine.index, "stats", None)
+                    if stats:
+                        # Approximate index: expose its build-time recall
+                        # self-measurement and probe accounting.
+                        payload["ann"] = dict(stats)
+                        payload["ann"]["candidate_fraction"] = (
+                            engine.index.candidate_fraction()
+                        )
+                    self._send_json(payload)
                 elif url.path == "/metrics":
                     self._send_text(metrics.render())
                 elif url.path == "/recommend":

@@ -195,7 +195,62 @@ class TestWilcoxon:
             wilcoxon_improvement([1.0], [0.5])
 
 
-from repro.eval.ranking import catalogue_coverage, mrr_at_k
+from repro.eval.ranking import catalogue_coverage, map_at_k, mrr_at_k
+
+
+class TestMAP:
+    def test_perfect_ranking_is_one(self):
+        assert map_at_k([1, 2, 9], {1, 2}, 3) == 1.0
+
+    def test_hand_case(self):
+        # Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        expected = (1.0 + 2.0 / 3.0) / 2.0
+        assert map_at_k([7, 5, 8], {7, 8}, 3) == pytest.approx(expected)
+
+    def test_normalized_by_reachable_hits(self):
+        # 5 relevant but k=2: front-loading both slots scores 1.0
+        # (min(|relevant|, k) normalizer, the RecBole convention).
+        assert map_at_k([1, 2], {1, 2, 3, 4, 5}, 2) == 1.0
+
+    def test_miss_is_zero(self):
+        assert map_at_k([1, 2, 3], {9}, 3) == 0.0
+
+    def test_order_sensitivity(self):
+        better = map_at_k([7, 9], {7}, 2)
+        worse = map_at_k([9, 7], {7}, 2)
+        assert better > worse
+
+    def test_empty_relevant_raises(self):
+        with pytest.raises(ValueError):
+            map_at_k([1], set(), 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            map_at_k([1], {1}, 0)
+
+    @given(
+        seed=st.integers(0, 9999),
+        k=st.integers(1, 10),
+        n_items=st.integers(10, 30),
+    )
+    def test_bounds_property(self, seed, k, n_items):
+        rng = np.random.default_rng(seed)
+        ranked = rng.permutation(n_items).tolist()
+        relevant = set(rng.choice(n_items, size=3, replace=False).tolist())
+        assert 0.0 <= map_at_k(ranked, relevant, k) <= 1.0
+
+
+class TestEvaluateTopKKeys:
+    def test_reports_full_metric_set(self, micro_dataset):
+        from repro.baselines import BPRMF
+        from repro.eval import evaluate_topk
+
+        model = BPRMF(micro_dataset, dim=4, seed=0)
+        report = evaluate_topk(model, micro_dataset.test, k_values=(2, 3))
+        for metric in ("recall", "ndcg", "precision", "hit", "map", "mrr"):
+            for k in (2, 3):
+                assert f"{metric}@{k}" in report
+        assert all(0.0 <= v <= 1.0 for v in report.values())
 
 
 class TestMRR:

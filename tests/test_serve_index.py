@@ -95,6 +95,78 @@ class TestTopKIndex:
         )
 
 
+class TestIndexMemoryAccounting:
+    def test_factorized_counts_rep_matrices(self, trained_models, tiny_dataset):
+        model = trained_models["bprmf"]
+        index = TopKIndex.build(model)
+        user_matrix, item_matrix = model.representations()
+        expected = (
+            user_matrix[index.user_ids].nbytes + item_matrix.nbytes
+        )
+        assert index.memory_bytes() == expected
+
+    def test_dense_counts_score_rows(self, trained_models, tiny_dataset):
+        index = TopKIndex.build(trained_models["cg-kgr"], mode="dense")
+        assert (
+            index.memory_bytes()
+            == tiny_dataset.n_users * tiny_dataset.n_items * 8
+        )
+
+    def test_subset_index_is_smaller(self, trained_models):
+        full = TopKIndex.build(trained_models["cg-kgr"], mode="dense")
+        subset = TopKIndex.build(
+            trained_models["cg-kgr"], mode="dense", users=[0, 1]
+        )
+        assert 0 < subset.memory_bytes() < full.memory_bytes()
+
+
+class TestIndexSerialization:
+    @pytest.mark.parametrize("mode", ["factorized", "dense"])
+    def test_round_trip_is_bit_exact(
+        self, trained_models, tiny_dataset, mode, tmp_path
+    ):
+        from repro.serve import load_index
+
+        model = trained_models["bprmf" if mode == "factorized" else "cg-kgr"]
+        index = TopKIndex.build(
+            model, mask_splits=[tiny_dataset.train, tiny_dataset.valid], mode=mode
+        )
+        loaded = load_index(index.save(str(tmp_path / "index.npz")))
+        assert loaded.mode == mode
+        assert loaded.n_users == index.n_users
+        assert loaded.n_items == index.n_items
+        assert loaded.memory_bytes() == index.memory_bytes()
+        users = np.arange(tiny_dataset.n_users)
+        items, scores = index.topk(users, 10)
+        loaded_items, loaded_scores = loaded.topk(users, 10)
+        np.testing.assert_array_equal(loaded_items, items)
+        np.testing.assert_array_equal(loaded_scores, scores)
+        for user in users:
+            np.testing.assert_array_equal(
+                loaded.mask_table[user], index.mask_table[user]
+            )
+
+    def test_subset_round_trip_preserves_membership(
+        self, trained_models, tmp_path
+    ):
+        index = TopKIndex.build(trained_models["bprmf"], users=[0, 2, 4])
+        loaded = TopKIndex.load(index.save(str(tmp_path / "subset.npz")))
+        assert loaded.n_indexed_users == 3
+        assert loaded.contains(2) and not loaded.contains(1)
+
+    def test_exact_loader_rejects_ivf_file(
+        self, trained_models, tiny_dataset, tmp_path
+    ):
+        ann = TopKIndex.build(
+            trained_models["bprmf"],
+            mode="ann",
+            ann_params={"nlist": 4, "nprobe": 4, "seed": 0},
+        )
+        path = ann.save(str(tmp_path / "ann.npz"))
+        with pytest.raises(ValueError, match="load_index"):
+            TopKIndex.load(path)
+
+
 class TestServingEngine:
     def test_cache_hit_miss_counters(self, trained_models):
         engine = ServingEngine(
