@@ -10,8 +10,11 @@ traffic) is replayed against three serving strategies:
 * **index+cache** — the full :class:`ServingEngine` with its LRU cache.
 
 Reported per strategy: QPS and p50/p95/p99 request latency (plus the
-one-off index build time and the cache hit rate). Scale knobs:
-``REPRO_SERVE_REQUESTS`` (default 400), ``REPRO_EPOCHS``.
+one-off index build time and the cache hit rate), and SLO attainment
+against the serving objectives (``p99<25ms``, ``availability>=99.9%``):
+target, attained percentile, and error-budget consumption land in
+``BENCH_serving.json``. Scale knobs: ``REPRO_SERVE_REQUESTS`` (default
+400), ``REPRO_EPOCHS``.
 """
 
 import os
@@ -26,10 +29,12 @@ from repro.data import generate_profile
 from repro.eval.ranking import build_mask_table
 from repro.serve import ServingEngine, TopKIndex, topk_from_scores
 from repro.obs.metrics import LatencyHistogram
+from repro.obs.serving import SLOMonitor, SLOSpec
 from repro.training import Trainer, TrainerConfig
 from repro.utils import format_table
 
 K = 20
+SLO_SPECS = ("p99<25ms", "availability>=99.9%")
 
 
 def n_requests(default: int = 400) -> int:
@@ -46,15 +51,34 @@ def _zipf_users(n_users: int, n: int, rng: np.random.Generator) -> np.ndarray:
 
 def _replay(answer, users: np.ndarray) -> dict:
     hist = LatencyHistogram(window=len(users))
+    latencies = []
     start = time.perf_counter()
     for user in users:
         tick = time.perf_counter()
         answer(int(user))
-        hist.observe(time.perf_counter() - tick)
+        latency = time.perf_counter() - tick
+        hist.observe(latency)
+        latencies.append(latency)
     total = time.perf_counter() - start
     summary = hist.summary()
     summary["qps"] = len(users) / total
+    summary["latencies"] = latencies
     return summary
+
+
+def _slo_statuses(latencies: list) -> list:
+    """Replay recorded latencies through the serving SLO monitor.
+
+    One wide window holds the whole replay so attainment reflects every
+    request, not just the tail that would survive a 60s serving window.
+    """
+    window = 4 * 3600.0
+    specs = [SLOSpec.parse(text, window_s=window) for text in SLO_SPECS]
+    monitor = SLOMonitor(specs, burn_windows=(window,))
+    now = time.monotonic()
+    for value in latencies:
+        monitor.observe(value, ok=True, now=now)
+    return monitor.status(now=now)
 
 
 def _bench_model(name: str, model, dataset, users: np.ndarray) -> list:
@@ -79,14 +103,21 @@ def _bench_model(name: str, model, dataset, users: np.ndarray) -> list:
         ("index + LRU cache", "index_cache",
          _replay(lambda u: cached.recommend(u, K), users)),
     ):
+        statuses = _slo_statuses(summary.pop("latencies"))
+        latency = next(s for s in statuses if s.spec.kind == "latency")
         harness.record_bench_metrics(
             "serving",
             {
                 f"{name}/{key}/qps": summary["qps"],
                 f"{name}/{key}/p50_ms": 1e3 * summary["p50"],
                 f"{name}/{key}/p95_ms": 1e3 * summary["p95"],
+                f"{name}/{key}/slo_p99_target_ms": 1e3 * latency.spec.threshold,
+                f"{name}/{key}/slo_p99_attained_ms": 1e3 * latency.attained,
+                f"{name}/{key}/slo_attained": float(all(s.met for s in statuses)),
+                f"{name}/{key}/slo_budget_consumed": latency.budget_consumed,
             },
         )
+        verdict = "met" if all(s.met for s in statuses) else "MISSED"
         rows.append(
             [
                 f"{name} · {label}",
@@ -94,6 +125,7 @@ def _bench_model(name: str, model, dataset, users: np.ndarray) -> list:
                 f"{1e3 * summary['p50']:.3f}",
                 f"{1e3 * summary['p95']:.3f}",
                 f"{1e3 * summary['p99']:.3f}",
+                f"{verdict} ({latency.budget_consumed:.2f}x)",
             ]
         )
     hit_rate = cached.cache_info()["hit_rate"]
@@ -119,7 +151,7 @@ def run() -> str:
         rows.extend(_bench_model(name, model, dataset, users))
 
     return format_table(
-        ["strategy", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        ["strategy", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "SLO (budget)"],
         rows,
         title=(
             f"Serving latency — music, {requests} zipf-skewed requests, "

@@ -361,12 +361,16 @@ def cmd_serve(args) -> int:
         micro_batch=None if args.no_batch else args.batch_size,
         quiet=False,
         tracer=tracer,
+        slo_specs=args.slo,  # None → server defaults (docs/observability.md)
+        slow_capacity=args.slow_log,
     )
     print(
         f"serving {engine.index.n_indexed_users}/{engine.index.n_users} users "
         f"({engine.index.mode} index, {engine.index.memory_bytes()} bytes) "
         f"on http://{args.host}:{server.port}"
     )
+    for spec in server.slo.specs:
+        print(f"slo: {spec.describe()}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -426,6 +430,69 @@ def cmd_profile(args) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_json(), handle, indent=1)
         print(f"wrote profile JSON to {args.json}")
+    return 0
+
+
+def cmd_obs_top(args) -> int:
+    """Terminal dashboard: poll a server's /metrics on an interval."""
+    from repro.obs.serving import fetch_metrics, sample_from_metrics, top_frame
+
+    previous = None
+    frames = 0
+    try:
+        while True:
+            sample = sample_from_metrics(fetch_metrics(args.url))
+            frame = top_frame(sample, previous, url=args.url)
+            if not args.no_clear and frames:
+                # ANSI clear + home keeps the frame in place like top(1).
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(frame, flush=True)
+            previous = sample
+            frames += 1
+            if args.count and frames >= args.count:
+                return 0
+            import time as _time
+
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"error polling {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_obs_dashboard(args) -> int:
+    """Poll /metrics N times and render a self-contained HTML dashboard."""
+    import time as _time
+    import urllib.request
+
+    from repro.obs.report import serving_dashboard_html
+    from repro.obs.serving import fetch_metrics, sample_from_metrics
+
+    samples = []
+    try:
+        for i in range(max(1, args.samples)):
+            samples.append(sample_from_metrics(fetch_metrics(args.url)))
+            if i + 1 < max(1, args.samples):
+                _time.sleep(args.interval)
+        slo_status = None
+        try:  # SLO table comes from /healthz when the server exposes it
+            health_url = args.url.rstrip("/") + "/healthz"
+            with urllib.request.urlopen(health_url, timeout=5) as response:
+                import json as _json
+
+                slo_status = _json.load(response).get("slo")
+        except OSError:
+            pass
+    except OSError as exc:
+        print(f"error polling {args.url}: {exc}", file=sys.stderr)
+        return 1
+    content = serving_dashboard_html(
+        samples, source_url=args.url, slo_status=slo_status
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    print(f"wrote dashboard ({len(samples)} poll(s)) to {args.out}")
     return 0
 
 
@@ -632,6 +699,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", "--log-jsonl", dest="trace", metavar="PATH", default=None,
         help="write one span per HTTP request as JSONL to PATH",
     )
+    p.add_argument(
+        "--slo", action="append", metavar="SPEC", default=None,
+        help="SLO objective, e.g. 'p99<25ms' or 'availability>=99.9%%' "
+        "(repeatable; default: p99<25ms + availability>=99.9%%)",
+    )
+    p.add_argument(
+        "--slow-log", type=int, default=16, metavar="N",
+        help="slowest request traces kept for GET /debug/slow",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -644,6 +720,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the report as JSON to PATH")
     p.set_defaults(func=cmd_profile)
+
+    obs = sub.add_parser(
+        "obs", help="live serving observability (docs/observability.md)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    p = obs_sub.add_parser(
+        "top", help="terminal dashboard polling a running server's /metrics"
+    )
+    p.add_argument("--url", required=True, help="server base URL (http://host:port)")
+    p.add_argument("--interval", type=float, default=2.0, help="poll seconds")
+    p.add_argument("--count", type=int, default=0,
+                   help="frames to render before exiting (0 = until Ctrl-C)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of clearing the screen")
+    p.set_defaults(func=cmd_obs_top)
+
+    p = obs_sub.add_parser(
+        "dashboard", help="render a self-contained HTML serving dashboard"
+    )
+    p.add_argument("--url", required=True, help="server base URL (http://host:port)")
+    p.add_argument("--out", required=True, metavar="PATH", help="HTML output file")
+    p.add_argument("--samples", type=int, default=12, help="polls to collect")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between polls")
+    p.set_defaults(func=cmd_obs_dashboard)
 
     runs = sub.add_parser(
         "runs", help="inspect and gate on the run registry (docs/runs.md)"

@@ -22,7 +22,12 @@ Pillars, shared by training, evaluation, benchmarking, and serving
   ``anomaly`` events (:class:`HealthMonitor`,
   :class:`NonFiniteLossError`);
 * :mod:`repro.obs.report` — run tables, SVG sparklines, HTML reports
-  (``repro runs report``).
+  (``repro runs report``), plus the live serving dashboard page;
+* :mod:`repro.obs.serving` — request-scoped tracing
+  (:class:`RequestContext`), sliding-window SLO/error-budget monitoring
+  (:class:`SLOSpec` / :class:`SLOMonitor`), slow-request exemplars
+  (:class:`SlowRequestStore`), and the ``/metrics`` polling behind
+  ``repro obs top`` / ``repro obs dashboard``.
 """
 
 from repro.obs.events import (
@@ -42,6 +47,19 @@ from repro.obs.hooks import GuidanceAttentionRecorder, capture_attention
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.obs.profiler import Profiler, ProfileReport, profile
 from repro.obs.runs import RunRecord, RunStore
+from repro.obs.serving import (
+    NULL_REQUEST,
+    RequestContext,
+    SLOMonitor,
+    SLOSpec,
+    SlidingWindowStats,
+    SlowRequestStore,
+    current_request,
+    fetch_metrics,
+    lint_prometheus,
+    parse_prometheus,
+    use_request,
+)
 from repro.obs.sentinel import (
     DEFAULT_TOLERANCES,
     SentinelReport,
@@ -67,6 +85,17 @@ __all__ = [
     "capture_attention",
     "RunStore",
     "RunRecord",
+    "RequestContext",
+    "NULL_REQUEST",
+    "current_request",
+    "use_request",
+    "SlidingWindowStats",
+    "SLOSpec",
+    "SLOMonitor",
+    "SlowRequestStore",
+    "parse_prometheus",
+    "lint_prometheus",
+    "fetch_metrics",
     "HealthMonitor",
     "HealthConfig",
     "NonFiniteLossError",

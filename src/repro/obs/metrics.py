@@ -72,7 +72,13 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
+        self._help: Dict[str, str] = {}
         self._window = window
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to a metric's exposition."""
+        with self._lock:
+            self._help[name] = str(help_text)
 
     # ------------------------------------------------------------------
     def inc(self, name: str, amount: float = 1.0) -> None:
@@ -129,18 +135,30 @@ class MetricsRegistry:
         ``recommend_latency_seconds``); quantiles become labeled samples.
         """
         snap = self.snapshot()
+        with self._lock:
+            helps = dict(self._help)
         lines: List[str] = []
+
+        def declare(name: str, kind: str) -> str:
+            metric = f"{prefix}_{name}"
+            if name in helps:
+                # HELP text is a single escaped line per the exposition
+                # format (backslash and newline must be escaped).
+                text = helps[name].replace("\\", "\\\\").replace("\n", "\\n")
+                lines.append(f"# HELP {metric} {text}")
+            lines.append(f"# TYPE {metric} {kind}")
+            return metric
+
         for name, value in sorted(snap["counters"].items()):
-            lines.append(f"# TYPE {prefix}_{name} counter")
+            declare(name, "counter")
             lines.append(f"{prefix}_{name} {value:g}")
         for name, value in sorted(snap["gauges"].items()):
-            lines.append(f"# TYPE {prefix}_{name} gauge")
+            declare(name, "gauge")
             lines.append(f"{prefix}_{name} {value:g}")
-        lines.append(f"# TYPE {prefix}_cache_hit_rate gauge")
+        declare("cache_hit_rate", "gauge")
         lines.append(f"{prefix}_cache_hit_rate {snap['cache_hit_rate']:.6f}")
         for name, summary in sorted(snap["histograms"].items()):
-            metric = f"{prefix}_{name}"
-            lines.append(f"# TYPE {metric} summary")
+            metric = declare(name, "summary")
             for key, value in summary.items():
                 if key in ("count", "sum"):
                     lines.append(f"{metric}_{key} {value:g}")

@@ -23,7 +23,13 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.obs.runs import RunRecord, RunStore
 from repro.obs.sentinel import SentinelReport, compare_runs
 
-__all__ = ["run_table", "sparkline_svg", "history_series", "html_report"]
+__all__ = [
+    "run_table",
+    "sparkline_svg",
+    "history_series",
+    "html_report",
+    "serving_dashboard_html",
+]
 
 
 def _fmt_ts(ts: float) -> str:
@@ -79,13 +85,31 @@ def sparkline_svg(
     values = [float(v) for v in values]
     if not values:
         return f'<svg width="{width}" height="{height}"></svg>'
-    lo, hi = min(values), max(values)
-    span = (hi - lo) or 1.0
     pad = 2.0
+    lo, hi = min(values), max(values)
+    if len(values) == 1 or hi == lo:
+        # Degenerate trajectories: a lone sample has no x-extent and a
+        # constant series has zero range, which the normalization below
+        # would pin to the baseline. Render a centered flat line (plus a
+        # dot marking the lone sample) instead.
+        mid = height / 2.0
+        marker = (
+            f'<circle cx="{width / 2.0:.1f}" cy="{mid:.1f}" r="2" '
+            f'fill="{stroke}"/>'
+            if len(values) == 1
+            else ""
+        )
+        return (
+            f'<svg width="{width}" height="{height}" role="img">'
+            f'<polyline fill="none" stroke="{stroke}" stroke-width="1.5" '
+            f'points="{pad:.1f},{mid:.1f} {width - pad:.1f},{mid:.1f}"/>'
+            f"{marker}</svg>"
+        )
+    span = hi - lo
     n = len(values)
     points = []
     for i, v in enumerate(values):
-        x = pad + (width - 2 * pad) * (i / max(1, n - 1))
+        x = pad + (width - 2 * pad) * (i / (n - 1))
         y = height - pad - (height - 2 * pad) * ((v - lo) / span)
         points.append(f"{x:.1f},{y:.1f}")
     return (
@@ -249,3 +273,136 @@ def _latest_comparable(records: List[RunRecord]) -> Optional[SentinelReport]:
                 continue
             return compare_runs(earlier, current)
     return None
+
+
+# ----------------------------------------------------------------------
+# Live serving dashboard (`repro obs dashboard`)
+# ----------------------------------------------------------------------
+_DASH_STYLE = _STYLE + """
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 1rem 0; }
+.tile { border: 1px solid #ddd; border-radius: 6px; padding: 10px 16px;
+        min-width: 140px; }
+.tile .label { color: #666; font-size: 12px; text-transform: uppercase; }
+.tile .value { font-size: 22px; font-weight: 600; }
+.tile.bad .value { color: #b91c1c; }
+.tile.good .value { color: #15803d; }
+.meta { color: #666; font-size: 12px; }
+"""
+
+
+def _tile(label: str, value: str, tone: str = "") -> str:
+    cls = f"tile {tone}".strip()
+    return (
+        f'<div class="{cls}"><div class="label">{html.escape(label)}</div>'
+        f'<div class="value">{html.escape(value)}</div></div>'
+    )
+
+
+def serving_dashboard_html(
+    samples: Sequence[Any],
+    source_url: str = "",
+    slo_status: Optional[Sequence[Dict[str, Any]]] = None,
+) -> str:
+    """Self-contained dashboard page over polled ``/metrics`` samples.
+
+    ``samples`` are :class:`repro.obs.serving.ServingSample` objects in
+    poll order; the newest one feeds the stat tiles and every series
+    renders as a sparkline (single-poll pages degrade to flat lines via
+    the :func:`sparkline_svg` edge-case handling).
+    """
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>repro serving dashboard</title>",
+        f"<style>{_DASH_STYLE}</style></head><body>",
+        "<h1>Serving dashboard</h1>",
+    ]
+    if source_url:
+        parts.append(
+            f"<p class='meta'>source: <code>{html.escape(source_url)}</code>"
+            f", {len(samples)} poll(s), rendered {_fmt_ts(time.time())} UTC</p>"
+        )
+    if not samples:
+        parts.append("<p>no samples polled</p></body></html>")
+        return "\n".join(parts)
+    latest = samples[-1]
+    qps = latest.window_qps
+    if len(samples) >= 2 and latest.ts > samples[0].ts:
+        qps = max(
+            qps,
+            (latest.requests - samples[0].requests) / (latest.ts - samples[0].ts),
+        )
+    parts.append('<div class="tiles">')
+    parts.append(_tile("requests", f"{latest.requests:.0f}"))
+    parts.append(_tile("QPS (window)", f"{qps:.1f}"))
+    parts.append(_tile("p50", f"{latest.p50_ms:.2f} ms"))
+    parts.append(_tile("p99", f"{latest.p99_ms:.2f} ms"))
+    parts.append(
+        _tile(
+            "cache hit rate",
+            f"{100 * latest.cache_hit_rate:.1f}%",
+            tone="good" if latest.cache_hit_rate >= 0.5 else "",
+        )
+    )
+    if latest.ann_recall is not None:
+        parts.append(_tile("ANN recall", f"{100 * latest.ann_recall:.2f}%"))
+    if latest.burn_rate is not None:
+        parts.append(
+            _tile(
+                "budget burn",
+                f"{latest.burn_rate:.2f}x",
+                tone="bad" if latest.burn_rate > 1.0 else "good",
+            )
+        )
+    parts.append(
+        _tile(
+            "SLO violations",
+            f"{latest.slo_violations:.0f}",
+            tone="bad" if latest.slo_violations else "good",
+        )
+    )
+    parts.append("</div>")
+
+    series = [
+        ("QPS", [s.window_qps for s in samples]),
+        ("p50 (ms)", [s.p50_ms for s in samples]),
+        ("p99 (ms)", [s.p99_ms for s in samples]),
+        ("cache hit rate", [s.cache_hit_rate for s in samples]),
+        ("error rate", [s.error_rate for s in samples]),
+    ]
+    if any(s.burn_rate is not None for s in samples):
+        series.append(
+            ("budget burn", [s.burn_rate or 0.0 for s in samples])
+        )
+    parts.append("<h2>Trajectories</h2>")
+    parts.append('<table class="spark">')
+    for name, values in series:
+        parts.append(
+            f"<tr><td>{html.escape(name)}</td>"
+            f"<td>{sparkline_svg(values)}</td>"
+            f"<td>{values[0]:.4g} → {values[-1]:.4g}</td></tr>"
+        )
+    parts.append("</table>")
+
+    if slo_status:
+        parts.append("<h2>SLOs</h2>")
+        parts.append(
+            "<table><tr><th>objective</th><th>target</th><th>attained</th>"
+            "<th>budget consumed</th><th>burn rates</th><th>verdict</th></tr>"
+        )
+        for status in slo_status:
+            cls = "ok" if status.get("met") else "regressed"
+            burns = ", ".join(
+                f"{w}: {rate:.2f}x"
+                for w, rate in (status.get("burn_rates") or {}).items()
+            )
+            parts.append(
+                f'<tr class="{cls}"><td>{html.escape(str(status.get("slo")))}</td>'
+                f"<td>{status.get('target')}</td>"
+                f"<td>{status.get('attained')}</td>"
+                f"<td>{100 * float(status.get('budget_consumed', 0.0)):.1f}%</td>"
+                f"<td>{html.escape(burns)}</td>"
+                f"<td>{'met' if status.get('met') else 'VIOLATED'}</td></tr>"
+            )
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

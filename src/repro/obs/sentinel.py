@@ -71,7 +71,7 @@ DEFAULT_TOL = Tolerance(rel=0.05)
 
 _LOWER_IS_BETTER = (
     "p50", "p95", "p99", "latency", "loss", "time", "seconds",
-    "_s", "_ms", "epoch_s", "build",
+    "_s", "_ms", "epoch_s", "build", "budget", "burn",
 )
 
 

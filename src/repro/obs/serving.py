@@ -1,0 +1,983 @@
+"""Request-scoped serving observability: traces, SLOs, live dashboards.
+
+Three pillars behind the serving stack (``docs/observability.md``):
+
+* **request-scoped tracing** — every HTTP request gets a
+  :class:`RequestContext` minted at the edge (a ``request_id`` echoed in
+  every response) that collects a tree of timed child spans
+  (``cache.lookup``, ``index.query``, ``ann.probe``) as the request
+  flows server → engine → cache → index.  The context is installed
+  per-thread via :func:`use_request` so deep layers (the IVF probe loop)
+  can attach spans without threading the object through every signature;
+* **SLO engine** — :class:`SlidingWindowStats` ring buffers give
+  windowed (not cumulative) latency/error accounting, and
+  :class:`SLOMonitor` evaluates declarative :class:`SLOSpec` objectives
+  (``p99 < 25ms``, ``availability >= 99.9%``) into error-budget
+  consumption and multi-rate burn rates, emitting structured
+  ``slo_violation`` trace events on the met→violated edge;
+* **live introspection** — :class:`SlowRequestStore` keeps the N
+  slowest request traces in memory (``GET /debug/slow``), and the
+  :func:`parse_prometheus` / :func:`fetch_metrics` / :func:`top_frame`
+  helpers drive ``repro obs top`` and ``repro obs dashboard`` against
+  any running server's ``/metrics`` endpoint.
+
+Everything here is stdlib-only and import-light (no ``repro.serve``
+imports), so the serving layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import heapq
+import re
+import threading
+import time
+import urllib.request
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import NULL_TRACER
+
+__all__ = [
+    "RequestContext",
+    "NULL_REQUEST",
+    "current_request",
+    "use_request",
+    "WindowSnapshot",
+    "SlidingWindowStats",
+    "SLOSpec",
+    "SLOStatus",
+    "SLOMonitor",
+    "SlowRequestStore",
+    "parse_prometheus",
+    "lint_prometheus",
+    "fetch_metrics",
+    "ServingSample",
+    "sample_from_metrics",
+    "top_frame",
+]
+
+
+# ----------------------------------------------------------------------
+# Request-scoped tracing
+# ----------------------------------------------------------------------
+class RequestContext:
+    """One request's identity plus its tree of timed child spans.
+
+    Unlike :class:`repro.obs.events.Tracer` spans (a process-wide JSONL
+    stream), a request context is a self-contained in-memory record: the
+    server keeps the slowest ones (:class:`SlowRequestStore`) and echoes
+    ``request_id`` in every response, so a slow request is explainable
+    from its own trace alone.  Span nesting is LIFO per context and
+    lock-protected, so the micro-batcher thread can record spans into a
+    context owned by a blocked handler thread.
+    """
+
+    __slots__ = (
+        "request_id", "method", "path", "status", "error",
+        "duration_s", "_wall", "_t0", "_spans", "_stack", "_lock",
+    )
+
+    def __init__(
+        self,
+        method: str = "",
+        path: str = "",
+        request_id: Optional[str] = None,
+    ):
+        self.request_id = request_id or uuid.uuid4().hex[:16]
+        self.method = method
+        self.path = path
+        self.status: Optional[int] = None
+        self.error: Optional[str] = None
+        self.duration_s: Optional[float] = None
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        self._spans: List[Dict[str, Any]] = []  # root-level span records
+        self._stack: List[Dict[str, Any]] = []  # open spans, innermost last
+        self._lock = threading.Lock()
+
+    # -- span recording -------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> "_CtxSpan":
+        """``with ctx.span("cache.lookup") as sp: ... sp.set(hit=True)``."""
+        return _CtxSpan(self, name, attrs)
+
+    def _open(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            parent = self._stack[-1] if self._stack else None
+            if parent is not None:
+                parent["children"].append(record)
+            else:
+                self._spans.append(record)
+            self._stack.append(record)
+
+    def _close(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            if record in self._stack:  # unwind past unbalanced exits too
+                del self._stack[self._stack.index(record):]
+
+    # -- lifecycle ------------------------------------------------------
+    def finish(
+        self, status: Optional[int] = None, error: Optional[str] = None
+    ) -> "RequestContext":
+        """Stamp the final status/duration; idempotent on duration."""
+        if self.duration_s is None:
+            self.duration_s = time.perf_counter() - self._t0
+        if status is not None:
+            self.status = int(status)
+        if error:
+            self.error = str(error)
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        elapsed = (
+            self.duration_s
+            if self.duration_s is not None
+            else time.perf_counter() - self._t0
+        )
+        return 1e3 * elapsed
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full span tree as plain JSON-able dicts (slowest-trace dumps)."""
+        with self._lock:
+            spans = [_copy_span(s) for s in self._spans]
+        return {
+            "request_id": self.request_id,
+            "method": self.method,
+            "path": self.path,
+            "status": self.status,
+            "error": self.error,
+            "ts": self._wall,
+            "dur_ms": round(self.duration_ms, 3),
+            "spans": spans,
+        }
+
+
+def _copy_span(record: Dict[str, Any]) -> Dict[str, Any]:
+    out = {k: v for k, v in record.items() if k != "children"}
+    out["children"] = [_copy_span(c) for c in record["children"]]
+    return out
+
+
+class _CtxSpan:
+    """Context manager recording one timed span into a RequestContext."""
+
+    __slots__ = ("_ctx", "_record", "_t0")
+
+    def __init__(self, ctx: RequestContext, name: str, attrs: Dict[str, Any]):
+        self._ctx = ctx
+        self._record = {
+            "name": name,
+            "t_ms": 0.0,
+            "dur_ms": None,
+            "attrs": attrs,
+            "children": [],
+        }
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> "_CtxSpan":
+        self._record["attrs"].update(attrs)
+        return self
+
+    def __enter__(self) -> "_CtxSpan":
+        self._t0 = time.perf_counter()
+        self._record["t_ms"] = round(1e3 * (self._t0 - self._ctx._t0), 3)
+        self._ctx._open(self._record)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._record["dur_ms"] = round(1e3 * (time.perf_counter() - self._t0), 3)
+        if exc is not None:
+            self._record["attrs"]["error"] = repr(exc)
+        if not self._record["attrs"]:
+            self._record["attrs"] = {}
+        self._ctx._close(self._record)
+        return False
+
+
+class _NullCtxSpan:
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullCtxSpan":
+        return self
+
+    def __enter__(self) -> "_NullCtxSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CTX_SPAN = _NullCtxSpan()
+
+
+class NullRequestContext:
+    """No-op stand-in so instrumented code never branches on ``None``."""
+
+    __slots__ = ()
+    request_id = None
+
+    def span(self, name: str, **attrs: Any) -> _NullCtxSpan:
+        return _NULL_CTX_SPAN
+
+    def finish(self, *a, **k) -> "NullRequestContext":
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+
+NULL_REQUEST = NullRequestContext()
+
+_ACTIVE = threading.local()
+
+
+def current_request() -> RequestContext:
+    """The request context installed on this thread (:data:`NULL_REQUEST`
+    when none is active), so deep layers attach spans unconditionally."""
+    return getattr(_ACTIVE, "ctx", None) or NULL_REQUEST
+
+
+@contextlib.contextmanager
+def use_request(ctx: Optional[RequestContext]):
+    """Install ``ctx`` as this thread's current request for the block."""
+    previous = getattr(_ACTIVE, "ctx", None)
+    _ACTIVE.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _ACTIVE.ctx = previous
+
+
+# ----------------------------------------------------------------------
+# Sliding-window accounting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Point-in-time view of one sliding window."""
+
+    window_s: float
+    count: int
+    errors: int
+    qps: float
+    error_rate: float
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    slow_fraction_cache: Dict[float, float] = field(default_factory=dict)
+    _sorted: Tuple[float, ...] = ()
+
+    @property
+    def availability(self) -> float:
+        return 1.0 - self.error_rate
+
+    def percentile(self, q: float) -> float:
+        if not self._sorted:
+            return 0.0
+        q = min(100.0, max(0.0, float(q)))
+        pos = q / 100.0 * (len(self._sorted) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(self._sorted) - 1)
+        frac = pos - lo
+        return self._sorted[lo] * (1 - frac) + self._sorted[hi] * frac
+
+    def fraction_over(self, threshold_s: float) -> float:
+        """Fraction of retained requests slower than ``threshold_s``."""
+        if not self._sorted:
+            return 0.0
+        idx = bisect.bisect_right(self._sorted, float(threshold_s))
+        return (len(self._sorted) - idx) / len(self._sorted)
+
+
+class SlidingWindowStats:
+    """Ring buffer of ``(t, latency, ok)`` over a bounded time window.
+
+    Unlike the cumulative :class:`~repro.obs.metrics.LatencyHistogram`
+    (whose reservoir is count-bounded), this is *time*-bounded: QPS,
+    error rate, and percentiles all describe the last ``window_s``
+    seconds, which is what SLO burn rates are defined over.  ``capacity``
+    bounds memory under heavy traffic (the window degrades to the most
+    recent ``capacity`` observations).
+    """
+
+    def __init__(self, window_s: float = 60.0, capacity: int = 16384):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = float(window_s)
+        self._buf: deque = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._created = time.monotonic()
+        self.total_count = 0
+        self.total_errors = 0
+
+    def observe(
+        self, latency_s: float, ok: bool = True, now: Optional[float] = None
+    ) -> None:
+        value = float(latency_s)
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        now = time.monotonic() if now is None else float(now)
+        with self._lock:
+            self._buf.append((now, value, bool(ok)))
+            self.total_count += 1
+            if not ok:
+                self.total_errors += 1
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._buf and self._buf[0][0] < horizon:
+            self._buf.popleft()
+
+    def snapshot(self, now: Optional[float] = None) -> WindowSnapshot:
+        now = time.monotonic() if now is None else float(now)
+        with self._lock:
+            self._trim(now)
+            rows = list(self._buf)
+        count = len(rows)
+        errors = sum(1 for _, _, ok in rows if not ok)
+        latencies = tuple(sorted(value for _, value, _ in rows))
+        # Early in the process lifetime the window is not yet full; use
+        # the elapsed fraction so QPS is not underestimated at boot.
+        elapsed = min(self.window_s, max(1e-9, now - self._created))
+        snap = WindowSnapshot(
+            window_s=self.window_s,
+            count=count,
+            errors=errors,
+            qps=count / elapsed,
+            error_rate=(errors / count) if count else 0.0,
+            p50=0.0,
+            p95=0.0,
+            p99=0.0,
+            mean=(sum(latencies) / count) if count else 0.0,
+            _sorted=latencies,
+        )
+        # frozen dataclass: fill the percentile fields via object.__setattr__
+        object.__setattr__(snap, "p50", snap.percentile(50))
+        object.__setattr__(snap, "p95", snap.percentile(95))
+        object.__setattr__(snap, "p99", snap.percentile(99))
+        return snap
+
+
+# ----------------------------------------------------------------------
+# SLO specs, budgets, burn rates
+# ----------------------------------------------------------------------
+_SPEC_RE = re.compile(
+    r"^\s*(?P<lhs>p\d+(?:\.\d+)?|availability|avail)\s*"
+    r"(?P<op><=|<|>=|>)\s*"
+    r"(?P<value>[0-9.]+)\s*(?P<unit>ms|s|%)?\s*"
+    r"(?:@\s*(?P<window>[0-9.]+)\s*s?)?\s*$",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective over a sliding window.
+
+    ``kind="latency"``: the windowed ``percentile``-th latency must stay
+    below ``threshold`` seconds (equivalently: at most ``1 -
+    percentile/100`` of requests may be slower — that slack is the error
+    budget).  ``kind="availability"``: the windowed non-5xx fraction
+    must stay at or above ``threshold`` (budget ``1 - threshold``).
+    """
+
+    kind: str  # "latency" | "availability"
+    threshold: float  # seconds (latency) or fraction in [0, 1]
+    percentile: float = 99.0
+    window_s: float = 60.0
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "availability" and not 0.0 < self.threshold <= 1.0:
+            raise ValueError("availability target must be in (0, 1]")
+        if self.kind == "latency" and self.threshold <= 0:
+            raise ValueError("latency target must be positive")
+
+    @property
+    def name(self) -> str:
+        if self.kind == "latency":
+            return f"latency_p{self.percentile:g}".replace(".", "_")
+        return "availability"
+
+    @property
+    def budget(self) -> float:
+        """Allowed bad-request fraction (the error budget)."""
+        if self.kind == "latency":
+            return max(1e-9, 1.0 - self.percentile / 100.0)
+        return max(1e-9, 1.0 - self.threshold)
+
+    def describe(self) -> str:
+        if self.kind == "latency":
+            return (
+                f"p{self.percentile:g} < {1e3 * self.threshold:g}ms "
+                f"over {self.window_s:g}s"
+            )
+        return f"availability >= {100 * self.threshold:g}% over {self.window_s:g}s"
+
+    @classmethod
+    def parse(cls, text: str, window_s: float = 60.0) -> "SLOSpec":
+        """``"p99<25ms"``, ``"p50<0.005s@30"``, ``"availability>=99.9%"``."""
+        match = _SPEC_RE.match(str(text))
+        if match is None:
+            raise ValueError(
+                f"bad SLO spec {text!r}; expected e.g. 'p99<25ms', "
+                "'p50<0.01s@30', or 'availability>=99.9%'"
+            )
+        lhs = match.group("lhs").lower()
+        value = float(match.group("value"))
+        unit = (match.group("unit") or "").lower()
+        window = float(match.group("window") or window_s)
+        if lhs.startswith("p"):
+            if unit == "%":
+                raise ValueError(f"latency target in {text!r} cannot be a %")
+            threshold = value / 1e3 if unit in ("", "ms") else value
+            return cls(
+                kind="latency",
+                threshold=threshold,
+                percentile=float(lhs[1:]),
+                window_s=window,
+            )
+        if unit == "ms" or unit == "s":
+            raise ValueError(f"availability target in {text!r} cannot carry {unit}")
+        target = value / 100.0 if unit == "%" or value > 1.0 else value
+        return cls(kind="availability", threshold=target, window_s=window)
+
+
+@dataclass
+class SLOStatus:
+    """One spec's current verdict: attainment, budget, burn rates."""
+
+    spec: SLOSpec
+    attained: float  # measured percentile seconds, or availability fraction
+    met: bool
+    budget_consumed: float  # bad fraction / allowed fraction, over spec window
+    burn_rates: Dict[str, float] = field(default_factory=dict)
+    window_count: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.spec.kind == "latency":
+            target: Any = round(1e3 * self.spec.threshold, 6)
+            attained: Any = round(1e3 * self.attained, 6)
+            unit = "ms"
+        else:
+            target = self.spec.threshold
+            attained = round(self.attained, 6)
+            unit = "fraction"
+        return {
+            "slo": self.spec.describe(),
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "unit": unit,
+            "target": target,
+            "attained": attained,
+            "met": self.met,
+            "budget_consumed": round(self.budget_consumed, 4),
+            "burn_rates": {k: round(v, 4) for k, v in self.burn_rates.items()},
+            "window_count": self.window_count,
+        }
+
+
+class SLOMonitor:
+    """Evaluates :class:`SLOSpec` objectives over sliding windows.
+
+    Every observation feeds one :class:`SlidingWindowStats` per distinct
+    window length (spec windows plus the multi-rate ``burn_windows``).
+    Violations are edge-triggered: crossing met→violated emits one
+    structured ``slo_violation`` event on ``tracer``, bumps the
+    ``slo_violations`` counter, and invokes ``on_violation(status)``
+    (the server uses that hook to dump the slow-request exemplars); the
+    spec re-arms when it recovers.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SLOSpec] = (),
+        metrics=None,
+        tracer=None,
+        burn_windows: Sequence[float] = (60.0, 300.0),
+        capacity: int = 16384,
+        eval_interval: int = 32,
+        on_violation: Optional[Callable[[SLOStatus], None]] = None,
+    ):
+        self.specs = [
+            SLOSpec.parse(s) if isinstance(s, str) else s for s in specs
+        ]
+        self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
+        self.on_violation = on_violation
+        self.burn_windows = tuple(float(w) for w in burn_windows)
+        window_lengths = {spec.window_s for spec in self.specs}
+        window_lengths.update(self.burn_windows)
+        self._windows = {
+            w: SlidingWindowStats(window_s=w, capacity=capacity)
+            for w in sorted(window_lengths)
+        }
+        self._eval_interval = max(1, int(eval_interval))
+        self._since_eval = 0
+        self._violated: Dict[str, bool] = {spec.name: False for spec in self.specs}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, latency_s: float, ok: bool = True, now: Optional[float] = None
+    ) -> None:
+        for window in self._windows.values():
+            window.observe(latency_s, ok=ok, now=now)
+        if not self.specs:
+            return
+        with self._lock:
+            self._since_eval += 1
+            due = self._since_eval >= self._eval_interval
+            if due:
+                self._since_eval = 0
+        if due:
+            self.status(now=now)
+
+    # ------------------------------------------------------------------
+    def _spec_status(
+        self, spec: SLOSpec, snaps: Dict[float, WindowSnapshot]
+    ) -> SLOStatus:
+        main = snaps[spec.window_s]
+        if spec.kind == "latency":
+            attained = main.percentile(spec.percentile)
+            met = attained <= spec.threshold or main.count == 0
+            bad = main.fraction_over(spec.threshold)
+        else:
+            attained = main.availability
+            met = attained >= spec.threshold or main.count == 0
+            bad = main.error_rate
+        burn = {}
+        for w in self.burn_windows:
+            snap = snaps[w]
+            frac = (
+                snap.fraction_over(spec.threshold)
+                if spec.kind == "latency"
+                else snap.error_rate
+            )
+            burn[f"{snap.window_s:g}s"] = frac / spec.budget
+        return SLOStatus(
+            spec=spec,
+            attained=attained,
+            met=met,
+            budget_consumed=bad / spec.budget,
+            burn_rates=burn,
+            window_count=main.count,
+        )
+
+    def status(self, now: Optional[float] = None) -> List[SLOStatus]:
+        """Fresh verdict per spec; fires edge-triggered violation events."""
+        snaps = {w: win.snapshot(now=now) for w, win in self._windows.items()}
+        statuses = [self._spec_status(spec, snaps) for spec in self.specs]
+        for status in statuses:
+            name = status.spec.name
+            newly = not status.met and not self._violated.get(name, False)
+            self._violated[name] = not status.met
+            if self.metrics is not None:
+                prefix = f"slo_{name}"
+                self.metrics.set_gauge(f"{prefix}_met", 1.0 if status.met else 0.0)
+                self.metrics.set_gauge(
+                    f"{prefix}_budget_consumed", status.budget_consumed
+                )
+                for label, rate in status.burn_rates.items():
+                    self.metrics.set_gauge(
+                        f"{prefix}_burn_rate_{label}", rate
+                    )
+            if newly:
+                if self.metrics is not None:
+                    self.metrics.inc("slo_violations")
+                # "name" would collide with Tracer.event's positional arg.
+                fields = status.to_dict()
+                fields["slo_name"] = fields.pop("name")
+                self.tracer.event("slo_violation", **fields)
+                if self.on_violation is not None:
+                    self.on_violation(status)
+        return statuses
+
+    def window(self, window_s: Optional[float] = None) -> SlidingWindowStats:
+        """The stats ring for one window length (default: the shortest)."""
+        if window_s is None:
+            window_s = min(self._windows)
+        return self._windows[float(window_s)]
+
+    def to_dict(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        return [status.to_dict() for status in self.status(now=now)]
+
+
+# ----------------------------------------------------------------------
+# Slow-request exemplar store
+# ----------------------------------------------------------------------
+class SlowRequestStore:
+    """Keeps the ``capacity`` slowest request traces seen so far.
+
+    A min-heap keyed on duration makes each offer O(log n); the store is
+    the backing for ``GET /debug/slow`` and the exemplar dump attached
+    to SLO violations — the production answer to "*which* requests were
+    slow, and where did their time go?".
+    """
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._heap: List[Tuple[float, int, Dict[str, Any]]] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def offer(self, trace: Dict[str, Any]) -> bool:
+        """Consider one finished-request trace; True when retained."""
+        dur = float(trace.get("dur_ms", 0.0))
+        with self._lock:
+            self._seq += 1
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, (dur, self._seq, trace))
+                return True
+            if dur > self._heap[0][0]:
+                heapq.heapreplace(self._heap, (dur, self._seq, trace))
+                return True
+        return False
+
+    @property
+    def threshold_ms(self) -> float:
+        """Minimum duration a new trace must beat to be retained."""
+        with self._lock:
+            if len(self._heap) < self.capacity:
+                return 0.0
+            return self._heap[0][0]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Retained traces, slowest first."""
+        with self._lock:
+            items = list(self._heap)
+        return [trace for _, _, trace in sorted(items, key=lambda t: -t[0])]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition: parsing + strict linting
+# ----------------------------------------------------------------------
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+#: Suffixes a summary/histogram family legitimately adds to its name.
+_FAMILY_SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+def _split_labels(raw: str) -> List[Tuple[str, str]]:
+    """``a="x",b="y"`` → pairs; raises ValueError on malformed pieces."""
+    pairs: List[Tuple[str, str]] = []
+    i, n = 0, len(raw)
+    while i < n:
+        eq = raw.index("=", i)
+        name = raw[i:eq]
+        if raw[eq + 1] != '"':
+            raise ValueError(f"label value for {name!r} is not quoted")
+        j = eq + 2
+        value_chars: List[str] = []
+        while j < n:
+            ch = raw[j]
+            if ch == "\\":
+                if j + 1 >= n or raw[j + 1] not in ('"', "\\", "n"):
+                    raise ValueError(f"bad escape in label {name!r}")
+                value_chars.append({"n": "\n"}.get(raw[j + 1], raw[j + 1]))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            if ch == "\n":
+                raise ValueError(f"unescaped newline in label {name!r}")
+            value_chars.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value for {name!r}")
+        pairs.append((name, "".join(value_chars)))
+        i = j + 1
+        if i < n:
+            if raw[i] != ",":
+                raise ValueError(f"expected ',' between labels at {raw[i:]!r}")
+            i += 1
+    return pairs
+
+
+def _family_of(sample_name: str, declared: Dict[str, str]) -> Optional[str]:
+    """Metric family a sample belongs to, honoring summary suffixes."""
+    if sample_name in declared:
+        return sample_name
+    for suffix in _FAMILY_SUFFIXES:
+        base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if base and base in declared and declared[base] in ("summary", "histogram"):
+            return base
+    return None
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Strict line-format check of a ``/metrics`` exposition.
+
+    Returns a list of human-readable violations (empty = valid):
+    metric/label name syntax, label quoting and escaping, float-parseable
+    values, ``# TYPE``/``# HELP`` placement (before samples, at most once
+    per family, known type keyword), samples belonging to a declared
+    family, and duplicate series (same name + label set).
+    """
+    errors: List[str] = []
+    declared_type: Dict[str, str] = {}
+    declared_help: Dict[str, str] = {}
+    seen_series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+    family_started: Dict[str, bool] = {}
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if not line:
+            continue
+        if line != line.rstrip():
+            errors.append(f"line {lineno}: trailing whitespace")
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                continue  # plain comment
+            keyword = parts[1]
+            if len(parts) < 3:
+                errors.append(f"line {lineno}: # {keyword} missing metric name")
+                continue
+            family = parts[2]
+            if not _METRIC_NAME_RE.match(family):
+                errors.append(
+                    f"line {lineno}: invalid metric name {family!r} in # {keyword}"
+                )
+                continue
+            registry = declared_type if keyword == "TYPE" else declared_help
+            if family in registry:
+                errors.append(
+                    f"line {lineno}: duplicate # {keyword} for {family!r}"
+                )
+            if family_started.get(family):
+                errors.append(
+                    f"line {lineno}: # {keyword} for {family!r} after its samples"
+                )
+            if keyword == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in _TYPES:
+                    errors.append(
+                        f"line {lineno}: unknown TYPE {kind!r} for {family!r}"
+                    )
+                declared_type[family] = kind
+            else:
+                declared_help[family] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample line {line!r}")
+            continue
+        name = match.group("name")
+        labels_raw = match.group("labels")
+        try:
+            labels = _split_labels(labels_raw) if labels_raw else []
+        except ValueError as exc:
+            errors.append(f"line {lineno}: {exc}")
+            continue
+        for label_name, _ in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                errors.append(
+                    f"line {lineno}: invalid label name {label_name!r}"
+                )
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                errors.append(f"line {lineno}: unparseable value {value!r}")
+        family = _family_of(name, declared_type)
+        if family is None:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE"
+            )
+        else:
+            family_started[family] = True
+        series = (name, tuple(sorted(labels)))
+        if series in seen_series:
+            errors.append(
+                f"line {lineno}: duplicate series {name!r} "
+                f"(first at line {seen_series[series]})"
+            )
+        else:
+            seen_series[series] = lineno
+    return errors
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Exposition text → ``{"types": {family: type}, "samples": {...}}``.
+
+    Sample keys are the full series (name plus verbatim label block) so
+    ``repro_serve_recommend_latency_seconds{quantile="0.99"}`` stays
+    addressable; values are floats.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[str, float] = {}
+    for line in text.split("\n"):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3].strip()
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        key = match.group("name")
+        if match.group("labels") is not None:
+            key += "{" + match.group("labels") + "}"
+        try:
+            samples[key] = float(match.group("value"))
+        except ValueError:
+            continue
+    return {"types": types, "samples": samples}
+
+
+def fetch_metrics(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET a server's ``/metrics`` endpoint and parse the exposition."""
+    if not url.endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return parse_prometheus(response.read().decode())
+
+
+# ----------------------------------------------------------------------
+# Live dashboard: polled samples + terminal frames
+# ----------------------------------------------------------------------
+@dataclass
+class ServingSample:
+    """One poll of a server's ``/metrics``, reduced to headline series."""
+
+    ts: float
+    requests: float  # cumulative request counter
+    errors: float  # cumulative 4xx/5xx counter sum
+    window_qps: float
+    p50_ms: float
+    p99_ms: float
+    cache_hit_rate: float
+    error_rate: float
+    ann_recall: Optional[float] = None
+    burn_rate: Optional[float] = None
+    budget_consumed: Optional[float] = None
+    slo_violations: float = 0.0
+    uptime_s: float = 0.0
+
+
+def sample_from_metrics(
+    parsed: Dict[str, Any], prefix: str = "repro_serve", ts: Optional[float] = None
+) -> ServingSample:
+    """Reduce one parsed exposition to the dashboard's headline series."""
+    samples = parsed.get("samples", {})
+
+    def get(name: str, default: float = 0.0) -> float:
+        return float(samples.get(f"{prefix}_{name}", default))
+
+    p50 = 1e3 * float(
+        samples.get(f'{prefix}_http_request_latency_seconds{{quantile="0.5"}}', 0.0)
+    )
+    p99 = 1e3 * float(
+        samples.get(f'{prefix}_http_request_latency_seconds{{quantile="0.99"}}', 0.0)
+    )
+    # Prefer the sliding-window gauges when the server exports them
+    # (cumulative summaries smear bursts; the window is what SLOs see).
+    if f"{prefix}_window_p50_ms" in samples:
+        p50 = get("window_p50_ms")
+        p99 = get("window_p99_ms")
+    burn_rates = [
+        value
+        for key, value in samples.items()
+        if key.startswith(f"{prefix}_slo_") and "_burn_rate_" in key
+    ]
+    budgets = [
+        value
+        for key, value in samples.items()
+        if key.startswith(f"{prefix}_slo_") and key.endswith("_budget_consumed")
+    ]
+    recall = None
+    for key, value in samples.items():
+        if key.startswith(f"{prefix}_ann_recall_at_"):
+            recall = float(value)
+    return ServingSample(
+        ts=time.time() if ts is None else ts,
+        requests=get("http_requests"),
+        errors=get("http_400") + get("http_404") + get("http_500"),
+        window_qps=get("window_qps"),
+        p50_ms=p50,
+        p99_ms=p99,
+        cache_hit_rate=get("cache_hit_rate"),
+        error_rate=get("window_error_rate"),
+        ann_recall=recall,
+        burn_rate=max(burn_rates) if burn_rates else None,
+        budget_consumed=max(budgets) if budgets else None,
+        slo_violations=get("slo_violations"),
+        uptime_s=get("uptime_seconds"),
+    )
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "█" * filled + "░" * (width - filled)
+
+
+def top_frame(
+    current: ServingSample,
+    previous: Optional[ServingSample] = None,
+    url: str = "",
+    width: int = 64,
+) -> str:
+    """Render one ``repro obs top`` text frame from polled samples."""
+    lines = []
+    title = "repro obs top"
+    if url:
+        title += f" — {url}"
+    lines.append(title)
+    lines.append("─" * min(width, max(len(title), 40)))
+    qps = current.window_qps
+    if previous is not None and current.ts > previous.ts:
+        qps = max(0.0, current.requests - previous.requests) / (
+            current.ts - previous.ts
+        )
+    lines.append(
+        f"requests  {current.requests:>10.0f} total   "
+        f"qps {qps:>8.1f}   uptime {current.uptime_s:>7.0f}s"
+    )
+    lines.append(
+        f"latency   p50 {current.p50_ms:>8.3f} ms   p99 {current.p99_ms:>8.3f} ms"
+    )
+    lines.append(
+        f"errors    {current.errors:>10.0f} total   "
+        f"window error rate {100 * current.error_rate:>6.2f}%"
+    )
+    lines.append(
+        f"cache     hit rate {100 * current.cache_hit_rate:>6.2f}%  "
+        f"[{_bar(current.cache_hit_rate)}]"
+    )
+    if current.ann_recall is not None:
+        lines.append(
+            f"ann       recall   {100 * current.ann_recall:>6.2f}%  "
+            f"[{_bar(current.ann_recall)}]"
+        )
+    if current.burn_rate is not None:
+        # Burn rate 1.0 = consuming budget exactly as fast as allowed;
+        # scale the bar so 2x over-burn fills it.
+        lines.append(
+            f"slo       burn {current.burn_rate:>8.2f}x   "
+            f"budget {100 * (current.budget_consumed or 0.0):>6.1f}%  "
+            f"[{_bar(current.burn_rate / 2.0)}]"
+        )
+        lines.append(
+            f"          violations {current.slo_violations:>4.0f}"
+        )
+    return "\n".join(lines)

@@ -42,6 +42,7 @@ from repro.baselines.base import Recommender
 from repro.eval.ranking import build_mask_table
 from repro.graph.interactions import InteractionGraph
 from repro.obs.events import default_tracer
+from repro.obs.serving import current_request
 from repro.serve.index import TopKIndex, topk_from_scores
 
 __all__ = ["kmeans", "assign_to_centroids", "ProductQuantizer", "IVFIndex"]
@@ -493,6 +494,14 @@ class IVFIndex(TopKIndex):
 
     def _probe(self, user: int, k: int, mask_seen: bool) -> Tuple[np.ndarray, np.ndarray]:
         """One ANN query: rank lists, widen probing until k can be filled."""
+        with current_request().span(
+            "ann.probe", user=int(user), k=int(k), nprobe=int(self.nprobe)
+        ) as ctx_span:
+            return self._probe_inner(user, k, mask_seen, ctx_span)
+
+    def _probe_inner(
+        self, user: int, k: int, mask_seen: bool, ctx_span
+    ) -> Tuple[np.ndarray, np.ndarray]:
         row = self._row_of[int(user)]
         query = self._user_reps[row]
         cluster_scores = self.centroids @ query
@@ -518,6 +527,12 @@ class IVFIndex(TopKIndex):
         )
         self.n_queries += 1
         self.n_candidates_scanned += len(candidates)
+        ctx_span.set(
+            lists_probed=probed,
+            candidates=len(candidates),
+            candidate_fraction=round(len(candidates) / max(1, self.n_items), 6),
+            compressed=self.compressed,
+        )
         scores = self._candidate_scores(query, candidates, cluster_scores)
         if masked is not None and n_masked:
             scores[np.isin(candidates, masked, assume_unique=False)] = -np.inf

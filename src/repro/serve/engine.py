@@ -19,6 +19,7 @@ request latency lands in the ``recommend_latency_seconds`` histogram.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 import time
@@ -31,6 +32,7 @@ import numpy as np
 from repro.baselines.base import Recommender
 from repro.serve.index import TopKIndex, topk_from_scores
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.serving import current_request, use_request
 
 Result = Tuple[np.ndarray, np.ndarray]  # (items, scores), each length k
 
@@ -139,9 +141,10 @@ class ServingEngine:
                 "for fallback scoring"
             )
         self.metrics.inc("fallback_users")
-        scores = self.model.score_all_items(int(user))
-        masked = self.index.mask_table[int(user)] if mask_seen else None
-        return topk_from_scores(scores, min(k, self.index.n_items), masked)
+        with current_request().span("model.fallback", user=int(user), k=int(k)):
+            scores = self.model.score_all_items(int(user))
+            masked = self.index.mask_table[int(user)] if mask_seen else None
+            return topk_from_scores(scores, min(k, self.index.n_items), masked)
 
     def recommend(self, user: int, k: int = 10, mask_seen: bool = True) -> Result:
         """Top-``k`` (items, scores) for one user, cached."""
@@ -149,13 +152,19 @@ class ServingEngine:
         if not 0 <= user < self.index.n_users:
             raise KeyError(f"unknown user id {user}")
         self.metrics.inc("requests")
+        ctx = current_request()
         key = (user, int(k), bool(mask_seen))
-        cached = self._cache_get(key)
+        with ctx.span("cache.lookup") as span:
+            cached = self._cache_get(key)
+            span.set(hit=cached is not None)
         if cached is not None:
             return cached
         with self.metrics.time("recommend_latency_seconds"):
             if self.index.contains(user):
-                items, scores = self.index.topk([user], k, mask_seen=mask_seen)
+                with ctx.span(
+                    "index.query", mode=self.index.mode, user=user, k=int(k)
+                ):
+                    items, scores = self.index.topk([user], k, mask_seen=mask_seen)
                 result = (items[0], scores[0])
             else:
                 result = self._fallback(user, k, mask_seen)
@@ -173,20 +182,31 @@ class ServingEngine:
                 raise KeyError(f"unknown user id {user}")
         self.metrics.inc("requests", len(users))
         self.metrics.inc("batched_queries")
+        ctx = current_request()
         results: Dict[int, Result] = {}
         to_index: List[int] = []
         to_fallback: List[int] = []
-        for user in set(users):
-            cached = self._cache_get((user, int(k), bool(mask_seen)))
-            if cached is not None:
-                results[user] = cached
-            elif self.index.contains(user):
-                to_index.append(user)
-            else:
-                to_fallback.append(user)
+        with ctx.span("cache.lookup", n_users=len(users)) as span:
+            for user in set(users):
+                cached = self._cache_get((user, int(k), bool(mask_seen)))
+                if cached is not None:
+                    results[user] = cached
+                elif self.index.contains(user):
+                    to_index.append(user)
+                else:
+                    to_fallback.append(user)
+            span.set(hits=len(results), misses=len(to_index) + len(to_fallback))
         with self.metrics.time("recommend_latency_seconds"):
             if to_index:
-                items, scores = self.index.topk(to_index, k, mask_seen=mask_seen)
+                with ctx.span(
+                    "index.query",
+                    mode=self.index.mode,
+                    n_users=len(to_index),
+                    k=int(k),
+                ):
+                    items, scores = self.index.topk(
+                        to_index, k, mask_seen=mask_seen
+                    )
                 for pos, user in enumerate(to_index):
                     result = (items[pos], scores[pos])
                     results[user] = result
@@ -252,12 +272,15 @@ class MicroBatcher:
         self._worker = threading.Thread(target=self._run, daemon=True)
         self._worker.start()
 
-    def submit(self, user: int, k: int = 10) -> "Future[Result]":
+    def submit(self, user: int, k: int = 10, ctx=None) -> "Future[Result]":
+        """Queue one request; ``ctx`` (a
+        :class:`~repro.obs.serving.RequestContext`) receives the flush's
+        ``engine.microbatch`` span so batched requests stay traceable."""
         future: "Future[Result]" = Future()
         with self._cond:
             if self._closed:
                 raise RuntimeError("batcher is closed")
-            self._queue.append((int(user), int(k), future))
+            self._queue.append((int(user), int(k), future, ctx))
             self._cond.notify()
         return future
 
@@ -284,16 +307,32 @@ class MicroBatcher:
                 batch, self._queue = self._queue, []
             self.engine.metrics.inc("microbatch_flushes")
             self.engine.metrics.observe("microbatch_size", len(batch))
-            by_k: Dict[int, List[Tuple[int, Future]]] = {}
-            for user, k, future in batch:
-                by_k.setdefault(k, []).append((user, future))
+            by_k: Dict[int, List[Tuple[int, Future, object]]] = {}
+            for user, k, future, ctx in batch:
+                by_k.setdefault(k, []).append((user, future, ctx))
             for k, group in by_k.items():
-                users = [user for user, _ in group]
+                users = [user for user, _, _ in group]
+                contexts = [ctx for _, _, ctx in group if ctx is not None]
+                # A lone request keeps its full trace (engine/index spans
+                # attach to its context); a real batch is one shared
+                # engine call, so each member just records the flush.
+                solo = contexts[0] if len(group) == 1 and contexts else None
                 try:
-                    results = self.engine.recommend_many(users, k)
+                    with contextlib.ExitStack() as stack:
+                        for ctx in contexts:
+                            stack.enter_context(
+                                ctx.span(
+                                    "engine.microbatch",
+                                    batch=len(group),
+                                    k=int(k),
+                                )
+                            )
+                        if solo is not None:
+                            stack.enter_context(use_request(solo))
+                        results = self.engine.recommend_many(users, k)
                 except Exception as exc:  # propagate to every waiter
-                    for _, future in group:
+                    for _, future, _ in group:
                         future.set_exception(exc)
                     continue
-                for (_, future), result in zip(group, results):
+                for (_, future, _), result in zip(group, results):
                     future.set_result(result)
