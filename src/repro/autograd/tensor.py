@@ -90,6 +90,10 @@ class Tensor:
         "_sparse_touched",
         "_saw_dense_grad",
         "_refresh_hook",
+        # Weak referenceability is required by the allocation tracker
+        # (`repro.obs.memory` registers a weakref.finalize per tensor to
+        # observe buffer release); costs one pointer per instance.
+        "__weakref__",
     )
     __array_priority__ = 100  # numpy defers binary ops to Tensor
 

@@ -20,7 +20,12 @@ HTTP recommendation server from one (see docs/serving.md); ``profile``
 runs instrumented training steps and prints the per-op autograd profile
 (see docs/observability.md).  ``train``/``export``/``serve`` accept
 ``--trace PATH`` (alias ``--log-jsonl``) to write structured span/event
-telemetry as JSONL.  ``runs`` inspects the persistent run registry:
+telemetry as JSONL; ``train``/``export``/``profile`` additionally accept
+``--timeline PATH`` (Chrome trace-event JSON for Perfetto, implies
+memory tracking) and ``--track-memory`` (tensor-allocation watermarks,
+``peak_mem_bytes`` metric, leak detection).  ``obs timeline`` converts
+an existing JSONL trace, and ``obs anatomy`` prints the epoch-anatomy
+phase breakdown.  ``runs`` inspects the persistent run registry:
 ``list``/``show``, ``compare A B``, the CI regression gate ``check
 --baseline <ref>`` (exit 1 on regression), and ``report [--html]`` with
 sparkline training curves (see docs/runs.md).  ``train`` and ``export``
@@ -98,8 +103,17 @@ def cmd_generate(args) -> int:
 
 
 def _make_tracer(args):
-    """Build a Tracer from ``--trace PATH`` (None when tracing is off)."""
+    """Build a Tracer from ``--trace PATH`` / ``--timeline PATH``.
+
+    ``--timeline`` needs the event stream even without ``--trace``: it
+    gets an in-memory tracer (no JSONL file).  Returns None when neither
+    flag asked for tracing.
+    """
     if not getattr(args, "trace", None):
+        if getattr(args, "timeline", None):
+            from repro.obs import Tracer
+
+            return Tracer(path=None)
         return None
     from repro.obs import Tracer
 
@@ -109,7 +123,21 @@ def _make_tracer(args):
 def _close_tracer(tracer) -> None:
     if tracer is not None:
         tracer.close()
-        print(f"wrote trace to {tracer.path} (run {tracer.run_id})")
+        if tracer.path:
+            print(f"wrote trace to {tracer.path} (run {tracer.run_id})")
+
+
+def _maybe_write_timeline(args, tracer) -> None:
+    """Export ``tracer``'s events as Chrome trace JSON (``--timeline``)."""
+    if not getattr(args, "timeline", None) or tracer is None:
+        return
+    from repro.obs import write_timeline
+
+    trace = write_timeline(tracer.events, args.timeline)
+    print(
+        f"wrote timeline ({len(trace['traceEvents'])} events) to "
+        f"{args.timeline} — open in https://ui.perfetto.dev"
+    )
 
 
 def _configure_verbose_logging(args) -> None:
@@ -152,12 +180,25 @@ def cmd_train(args) -> int:
             seed=args.seed,
             num_workers=args.workers,
             tracer=tracer,
+            track_memory=args.track_memory or bool(args.timeline),
             run_store=_make_run_store(args),
         ),
     )
     fit = trainer.fit()
+    _maybe_write_timeline(args, tracer)
     _close_tracer(tracer)
     _report_recorded_run(trainer)
+    mem_summary = getattr(trainer, "_memory_summary", None)
+    if mem_summary:
+        print(
+            f"memory: peak {mem_summary['peak_bytes'] / 1048576:.1f} MiB over "
+            f"{mem_summary['n_allocs']} allocations"
+            + (
+                f", LEAKED {mem_summary['leaked_tensors']} tensor(s)"
+                if mem_summary.get("leaked_tensors")
+                else ""
+            )
+        )
     print(
         f"best epoch {fit.best_epoch} (val recall@{args.k} = {fit.best_metric:.4f}), "
         f"{fit.time_per_epoch:.2f}s/epoch"
@@ -269,6 +310,7 @@ def cmd_export(args) -> int:
             seed=args.seed,
             num_workers=args.workers,
             tracer=tracer,
+            track_memory=args.track_memory or bool(args.timeline),
             run_store=_make_run_store(args),
         ),
     )
@@ -300,6 +342,7 @@ def cmd_export(args) -> int:
         finally:
             set_default_tracer(None)
         _report_ann_index(index)
+    _maybe_write_timeline(args, tracer)
     _close_tracer(tracer)
     save_checkpoint(
         model,
@@ -387,7 +430,7 @@ def cmd_profile(args) -> int:
 
     from repro.autograd.optim import Adam
     from repro.data.negative_sampling import sample_training_negatives
-    from repro.obs import profile
+    from repro.obs import NULL_TRACER, profile
 
     dataset = _load_dataset(args)
     model = _make_model(args.model, dataset, args.seed)
@@ -409,18 +452,42 @@ def cmd_profile(args) -> int:
         loss.backward()
         optimizer.step()
 
+    tracer = _make_tracer(args)
+    span_tracer = tracer or NULL_TRACER
+    mem = None
+    if args.track_memory or args.timeline:
+        from repro.obs import MemoryTracker
+
+        mem = MemoryTracker(tracer=tracer)
+        mem.start()
+        mem.register_persistent(model.parameters())
+
     one_step(0)  # warm-up outside the profile: lazy imports, first-touch caches
-    with profile() as prof:
-        sampler = getattr(model, "sampler", None)
-        if sampler is not None:
-            for method in ("user_neighborhood", "item_neighborhood", "kg_node_flow"):
-                if hasattr(sampler, method):
-                    prof.patch(sampler, method, f"sampler.{method}")
-        prof.patch(optimizer, "step", "optimizer.step")
-        for step in range(1, args.steps + 1):
-            one_step(step)
+    try:
+        with span_tracer.span("profile", model=model.name, steps=args.steps):
+            with profile(tracer=tracer) as prof:
+                sampler = getattr(model, "sampler", None)
+                if sampler is not None:
+                    for method in ("user_neighborhood", "item_neighborhood", "kg_node_flow"):
+                        if hasattr(sampler, method):
+                            prof.patch(sampler, method, f"sampler.{method}")
+                prof.patch(optimizer, "step", "optimizer.step")
+                for step in range(1, args.steps + 1):
+                    with span_tracer.span("step", step=step):
+                        one_step(step)
+    finally:
+        if mem is not None:
+            mem.stop()
     report = prof.report()
     print(report.render())
+    if mem is not None:
+        summary = mem.summary()
+        print(
+            f"memory: peak {summary['peak_bytes'] / 1048576:.1f} MiB over "
+            f"{summary['n_allocs']} allocations"
+        )
+    _maybe_write_timeline(args, tracer)
+    _close_tracer(tracer)
     print(
         f"\nprofiled {args.steps} training step(s) of {model.name} on "
         f"{dataset.name} (batch size {batch_size}, "
@@ -493,6 +560,49 @@ def cmd_obs_dashboard(args) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(content)
     print(f"wrote dashboard ({len(samples)} poll(s)) to {args.out}")
+    return 0
+
+
+def cmd_obs_timeline(args) -> int:
+    """Convert a ``--trace`` JSONL to Chrome trace-event JSON (Perfetto)."""
+    from repro.obs import load_trace_events, write_timeline
+
+    events = load_trace_events(args.trace)
+    if not events:
+        print(f"no events found in {args.trace}", file=sys.stderr)
+        return 1
+    try:
+        trace = write_timeline(events, args.out, check=not args.no_check)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(
+        f"wrote timeline ({len(trace['traceEvents'])} events) to {args.out} "
+        f"— open in https://ui.perfetto.dev"
+    )
+    return 0
+
+
+def cmd_obs_anatomy(args) -> int:
+    """Epoch-anatomy report: phases ranked by exclusive time + allocation."""
+    from repro.obs import epoch_anatomy, load_trace_events
+
+    events = load_trace_events(args.trace)
+    if not events:
+        print(f"no events found in {args.trace}", file=sys.stderr)
+        return 1
+    report = epoch_anatomy(events)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(report.to_html())
+        print(f"wrote anatomy HTML to {args.html}")
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_json(), handle, indent=1)
+        print(f"wrote anatomy JSON to {args.json}")
+    print(report.render())
     return 0
 
 
@@ -629,6 +739,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write obs span/event telemetry as JSONL to PATH",
     )
     train_common.add_argument(
+        "--timeline", metavar="PATH", default=None,
+        help="export a Chrome trace-event timeline JSON to PATH (implies "
+        "tracing + memory tracking; open in https://ui.perfetto.dev)",
+    )
+    train_common.add_argument(
+        "--track-memory", action="store_true",
+        help="track tensor allocations: peak_mem_bytes metric, per-op "
+        "attribution, epoch-boundary leak detection (docs/observability.md)",
+    )
+    train_common.add_argument(
         "--record", action="store_true",
         help="persist this fit into the run registry (docs/runs.md)",
     )
@@ -719,12 +839,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=3, help="training steps to profile")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the report as JSON to PATH")
+    p.add_argument(
+        "--trace", "--log-jsonl", dest="trace", metavar="PATH", default=None,
+        help="write per-op slices + step spans as JSONL to PATH",
+    )
+    p.add_argument(
+        "--timeline", metavar="PATH", default=None,
+        help="export the profiled steps as Chrome trace JSON (Perfetto)",
+    )
+    p.add_argument(
+        "--track-memory", action="store_true",
+        help="also track tensor allocations during the profiled steps",
+    )
     p.set_defaults(func=cmd_profile)
 
     obs = sub.add_parser(
         "obs", help="live serving observability (docs/observability.md)"
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    p = obs_sub.add_parser(
+        "timeline",
+        help="convert a --trace JSONL to Chrome trace-event JSON (Perfetto)",
+    )
+    p.add_argument("trace", help="JSONL trace written by --trace/--log-jsonl")
+    p.add_argument("-o", "--out", default="trace.json",
+                   help="output trace JSON path (default trace.json)")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip Catapult schema validation before writing")
+    p.set_defaults(func=cmd_obs_timeline)
+
+    p = obs_sub.add_parser(
+        "anatomy",
+        help="epoch-anatomy report: phases ranked by exclusive time/alloc",
+    )
+    p.add_argument("trace", help="JSONL trace written by --trace/--log-jsonl")
+    p.add_argument("--html", default=None, metavar="PATH",
+                   help="also write the report as HTML to PATH")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the report as JSON to PATH")
+    p.set_defaults(func=cmd_obs_anatomy)
 
     p = obs_sub.add_parser(
         "top", help="terminal dashboard polling a running server's /metrics"

@@ -7,10 +7,14 @@ Pillars, shared by training, evaluation, benchmarking, and serving
 * :mod:`repro.obs.events` — structured JSONL event log with nested spans
   (:class:`Tracer`, :data:`NULL_TRACER`, process default for benches);
 * :mod:`repro.obs.metrics` — counters / gauges / latency histograms
-  (:class:`MetricsRegistry`; the old ``repro.serve.metrics`` path is a
-  deprecated shim);
+  (:class:`MetricsRegistry`);
 * :mod:`repro.obs.profiler` — autograd per-op forward/backward profiler
   (:func:`profile`), surfaced as ``repro profile`` on the CLI;
+* :mod:`repro.obs.memory` — tensor allocation tracker
+  (:class:`MemoryTracker`): live/peak bytes, per-op attribution,
+  epoch-boundary leak detection (``TrainerConfig.track_memory``);
+* :mod:`repro.obs.timeline` — Chrome trace-event export of a JSONL trace
+  (:func:`build_timeline`; ``repro obs timeline``, opens in Perfetto);
 * :mod:`repro.obs.hooks` — CG-KGR guidance-attention capture
   (:func:`capture_attention`), Fig. 5 made queryable;
 * :mod:`repro.obs.runs` — persistent experiment-run registry
@@ -44,9 +48,17 @@ from repro.obs.health import (
     TrainingHealthError,
 )
 from repro.obs.hooks import GuidanceAttentionRecorder, capture_attention
+from repro.obs.memory import MemoryTracker, track_memory
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.obs.profiler import Profiler, ProfileReport, profile
+from repro.obs.report import AnatomyReport, epoch_anatomy
 from repro.obs.runs import RunRecord, RunStore
+from repro.obs.timeline import (
+    build_timeline,
+    load_trace_events,
+    validate_timeline,
+    write_timeline,
+)
 from repro.obs.serving import (
     NULL_REQUEST,
     RequestContext,
@@ -81,6 +93,14 @@ __all__ = [
     "Profiler",
     "ProfileReport",
     "profile",
+    "MemoryTracker",
+    "track_memory",
+    "build_timeline",
+    "load_trace_events",
+    "validate_timeline",
+    "write_timeline",
+    "AnatomyReport",
+    "epoch_anatomy",
     "GuidanceAttentionRecorder",
     "capture_attention",
     "RunStore",

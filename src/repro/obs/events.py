@@ -1,9 +1,14 @@
 """Structured event log with nested spans.
 
-One :class:`Tracer` per run emits a flat stream of events — point events
-plus ``span_start``/``span_end`` pairs — each carrying the run id, wall
-clock, and a monotonic timestamp, optionally mirrored to a JSONL file.
-Spans nest per thread via a context-manager (or decorator) API:
+One :class:`Tracer` per run emits a flat stream of events — point events,
+``span_start``/``span_end`` pairs, retrospective ``complete`` intervals
+(:meth:`Tracer.complete`, used for per-op profiler slices and worker
+phases), and ``counter`` samples (:meth:`Tracer.counter`, used for memory
+tracks) — each carrying the run id, wall clock, a monotonic timestamp,
+and the emitting ``pid``/``tid`` (overridable when re-emitting events
+collected from worker processes).  Everything is optionally mirrored to a
+JSONL file which ``repro obs timeline`` converts to Chrome trace-event
+JSON.  Spans nest per thread via a context-manager (or decorator) API:
 
     tracer = Tracer(path="run.jsonl")
     with tracer.span("epoch", epoch=3) as sp:
@@ -49,6 +54,10 @@ def _jsonable(value: Any) -> Any:
         return value.item()
     if hasattr(value, "tolist"):
         return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
     return repr(value)
 
 
@@ -82,18 +91,32 @@ class Span:
         stack.append(self)
         self._t0 = time.time()
         self._mono0 = time.perf_counter()
-        self._tracer._emit(
-            "span_start",
-            self.name,
-            span=self.span_id,
-            parent=self.parent_id,
-            attrs=self.attrs or None,
-        )
+        try:
+            self._tracer._emit(
+                "span_start",
+                self.name,
+                span=self.span_id,
+                parent=self.parent_id,
+                attrs=self.attrs or None,
+            )
+        except BaseException:
+            # A failed start (closed file, unserialisable attr, ...) must not
+            # leave this span on the stack: the caller's `with` body never
+            # runs, so __exit__ will never pop it and every later span on the
+            # thread would be parented under a ghost.
+            if stack and stack[-1] is self:
+                stack.pop()
+            elif self in stack:
+                stack.remove(self)
+            raise
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         duration = time.perf_counter() - self._mono0
         stack = self._tracer._stack()
+        # Unwind the stack *before* emitting: even when the body raised and
+        # the caller swallows the exception above this `with` block, or the
+        # span_end emit itself fails, the stack must not keep dead spans.
         if stack and stack[-1] is self:
             stack.pop()
         elif self in stack:  # unbalanced exit — still unwind past ourselves
@@ -101,15 +124,21 @@ class Span:
         attrs = dict(self.attrs)
         if exc is not None:
             attrs["error"] = repr(exc)
-        self._tracer._emit(
-            "span_end",
-            self.name,
-            span=self.span_id,
-            parent=self.parent_id,
-            dur=duration,
-            ok=exc is None,
-            attrs=attrs or None,
-        )
+        try:
+            self._tracer._emit(
+                "span_end",
+                self.name,
+                span=self.span_id,
+                parent=self.parent_id,
+                dur=duration,
+                ok=exc is None,
+                attrs=attrs or None,
+            )
+        except BaseException:
+            if exc is None:
+                raise
+            # The body's exception is the interesting one; a failing emit
+            # must not mask it (the stack is already unwound either way).
         return False  # never swallow exceptions
 
 
@@ -148,6 +177,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._seq = 0
+        self._pid = os.getpid()
 
     # ------------------------------------------------------------------
     def _stack(self) -> List[Span]:
@@ -173,6 +203,8 @@ class Tracer:
             "name": name,
             "ts": time.time(),
             "mono": time.perf_counter(),
+            "pid": self._pid,
+            "tid": threading.get_ident(),
         }
         for key, value in fields.items():
             if value is None:
@@ -197,6 +229,53 @@ class Tracer:
             parent=current.span_id if current else None,
             attrs=attrs or None,
         )
+
+    def complete(
+        self,
+        name: str,
+        dur: float,
+        t0: Optional[float] = None,
+        pid: Optional[int] = None,
+        tid: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Emit a retrospectively-timed interval (kind ``complete``).
+
+        Unlike a span there is no start/end pair: the interval already
+        happened, so one record carries its wall start ``t0`` (defaulting
+        to ``now - dur``) and duration in seconds.  The profiler uses this
+        for per-op slices; the parallel engine re-emits worker intervals
+        through it, passing the *worker's* ``pid``/``tid`` so the timeline
+        exporter keeps them on separate lanes.
+        """
+        current = self.current_span()
+        self._emit(
+            "complete",
+            name,
+            parent=current.span_id if current else None,
+            t0=time.time() - dur if t0 is None else t0,
+            dur=dur,
+            pid=pid,
+            tid=tid,
+            attrs=attrs or None,
+        )
+
+    def counter(
+        self,
+        name: str,
+        t0: Optional[float] = None,
+        pid: Optional[int] = None,
+        tid: Optional[int] = None,
+        **values: Any,
+    ) -> None:
+        """Emit a counter sample (kind ``counter``) of numeric series.
+
+        ``values`` become the sample's series (e.g. ``live_bytes=...``);
+        the timeline exporter turns them into a Chrome ``C`` counter
+        track.  ``t0`` back-dates the sample (used when re-emitting
+        cross-process samples collected earlier).
+        """
+        self._emit("counter", name, t0=t0, pid=pid, tid=tid, attrs=values or None)
 
     def span(self, name: str, **attrs: Any) -> Span:
         """Open a nested span: ``with tracer.span("epoch", epoch=1): ...``."""
@@ -271,6 +350,12 @@ class NullTracer:
     events: List[Dict[str, Any]] = []
 
     def event(self, name: str, **attrs) -> None:
+        pass
+
+    def complete(self, name: str, dur: float, t0=None, pid=None, tid=None, **attrs) -> None:
+        pass
+
+    def counter(self, name: str, t0=None, pid=None, tid=None, **values) -> None:
         pass
 
     def span(self, name: str, **attrs) -> _NullSpan:

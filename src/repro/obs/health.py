@@ -13,7 +13,11 @@ run's tracer whenever something looks pathological:
 * ``dead_embeddings``    — embedding-table rows whose L2 norm is ~0 at
   the end of training (untrained ids, bad init, or over-regularization);
 * ``eval_plateau``       — validation metric flat or declining for
-  ``plateau_patience`` consecutive evals.
+  ``plateau_patience`` consecutive evals;
+* ``memory_growth``      — live tensor bytes at the epoch boundary grew
+  monotonically for ``mem_growth_epochs`` consecutive epochs (fed by the
+  :class:`~repro.obs.memory.MemoryTracker` when memory tracking is on —
+  the classic tape-leak signature).
 
 Gradient-based checks only run when gradient norms are being measured
 (tracing enabled, or ``HealthConfig.track_grads=True``), keeping the
@@ -79,6 +83,10 @@ class HealthConfig:
     dead_row_fraction: float = 0.05
     #: Force per-batch grad-norm measurement even without a tracer.
     track_grads: bool = False
+    #: Consecutive epochs of growing live bytes before ``memory_growth``.
+    mem_growth_epochs: int = 3
+    #: Relative per-epoch growth below this is noise, not growth.
+    mem_growth_rel: float = 0.01
     #: Anomaly kinds that abort the run via :class:`TrainingHealthError`
     #: (``nonfinite_loss`` is always fatal regardless of this list).
     abort_on: Tuple[str, ...] = ()
@@ -95,6 +103,9 @@ class HealthMonitor:
         self._plateau_count = 0
         self._plateau_reported = False
         self._best_eval = float("-inf")
+        self._last_live_bytes: Optional[int] = None
+        self._mem_growth_streak = 0
+        self._mem_growth_reported = False
 
     # ------------------------------------------------------------------
     def bind(self, tracer) -> "HealthMonitor":
@@ -190,6 +201,38 @@ class HealthMonitor:
                 best=float(self._best_eval),
                 value=float(value),
                 evals_since_best=self._plateau_count,
+            )
+
+    def observe_memory(self, epoch: int, live_bytes: int) -> None:
+        """Epoch-boundary live-byte sample from the memory tracker.
+
+        Steady-state training should return to the same live footprint at
+        every epoch boundary; ``mem_growth_epochs`` consecutive boundaries
+        each more than ``mem_growth_rel`` above the last mean the tape (or
+        a cache) is retaining tensors — the monotonic-growth anomaly.
+        """
+        live_bytes = int(live_bytes)
+        prev = self._last_live_bytes
+        self._last_live_bytes = live_bytes
+        if prev is None:
+            return
+        grew = live_bytes > prev + max(1024.0, self.config.mem_growth_rel * prev)
+        if not grew:
+            self._mem_growth_streak = 0
+            self._mem_growth_reported = False
+            return
+        self._mem_growth_streak += 1
+        if (
+            self._mem_growth_streak >= self.config.mem_growth_epochs
+            and not self._mem_growth_reported
+        ):
+            self._mem_growth_reported = True
+            self.record(
+                "memory_growth",
+                epoch=epoch,
+                live_bytes=live_bytes,
+                consecutive_epochs=self._mem_growth_streak,
+                threshold_rel=self.config.mem_growth_rel,
             )
 
     def check_embeddings(self, model) -> None:

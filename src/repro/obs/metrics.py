@@ -1,8 +1,9 @@
 """Counters, gauges, and latency histograms behind one registry.
 
-Promoted from ``repro.serve.metrics`` (which now re-exports this module
-for backward compatibility) so the trainer, the benchmark harness, and
-the serving engine all feed the same registry type.  The surface is
+Promoted from the old ``repro.serve.metrics`` location (the deprecated
+shim has been removed; ``repro.serve`` re-exports these classes) so the
+trainer, the benchmark harness, and the serving engine all feed the same
+registry type.  The surface is
 modeled on the Prometheus client (counters + gauges + summaries) with no
 external dependency: latency percentiles come from a bounded reservoir
 of recent samples, which is exact until the reservoir wraps and a

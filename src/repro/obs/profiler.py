@@ -48,6 +48,14 @@ _EXTRA_OPS = (
     ("repro.core.attention", "_collab_scores", "collab_scores"),
 )
 
+# Exactly one profiler may patch the ops module at a time, process-wide.
+# Two live instances would wrap each other's wrappers: the inner one's
+# depth guard hides every call from the outer, and on exit the outer
+# restores *wrapped* functions as "originals", corrupting attribution for
+# the rest of the process.
+_ACTIVE_LOCK = threading.Lock()
+_ACTIVE_PROFILER: Optional["Profiler"] = None
+
 
 class _OpStat:
     __slots__ = ("calls", "time_fwd", "calls_bwd", "time_bwd", "bytes_out", "peak_bytes")
@@ -64,7 +72,7 @@ class _OpStat:
 class Profiler:
     """Collects op/section timings between ``__enter__`` and ``__exit__``."""
 
-    def __init__(self):
+    def __init__(self, tracer: Any = None):
         self.op_stats: Dict[str, _OpStat] = {}
         self.sections: Dict[str, List[float]] = {}  # name -> [calls, total_s]
         self.backward_walk_time = 0.0
@@ -77,6 +85,12 @@ class Profiler:
         self._saved_backward: Optional[Callable] = None
         self._t0 = 0.0
         self._active = False
+        # Optional event sink: when set (and enabled), every outermost op
+        # call, backward walk, and section additionally emits a timestamped
+        # `complete` interval, so `repro obs timeline` can place individual
+        # slices instead of only accumulated totals.
+        self._tracer = tracer
+        self._emit_events = bool(tracer is not None and getattr(tracer, "enabled", False))
 
     # ------------------------------------------------------------------
     # Recording
@@ -105,10 +119,14 @@ class Profiler:
 
         def wrapped(*args, **kwargs):
             t0 = time.perf_counter()
+            w0 = time.time() if self._emit_events else 0.0
             try:
                 return original(*args, **kwargs)
             finally:
-                self._record_section(label, time.perf_counter() - t0)
+                elapsed = time.perf_counter() - t0
+                self._record_section(label, elapsed)
+                if self._emit_events:
+                    self._tracer.complete(label, dur=elapsed, t0=w0, cat="section")
 
         # Remember whether the attr lived on the object itself (vs its
         # class), so restore removes the shadow instead of pinning a
@@ -126,12 +144,16 @@ class Profiler:
 
         def wrapped(grad):
             t0 = time.perf_counter()
+            w0 = time.time() if self._emit_events else 0.0
             try:
                 return fn(grad)
             finally:
+                elapsed = time.perf_counter() - t0
                 stat = self._stat(name)
                 stat.calls_bwd += 1
-                stat.time_bwd += time.perf_counter() - t0
+                stat.time_bwd += elapsed
+                if self._emit_events:
+                    self._tracer.complete(name, dur=elapsed, t0=w0, cat="op", phase="bwd")
 
         return wrapped
 
@@ -144,6 +166,7 @@ class Profiler:
                 return fn(*args, **kwargs)
             local.depth = 1
             t0 = time.perf_counter()
+            w0 = time.time() if self._emit_events else 0.0
             try:
                 out = fn(*args, **kwargs)
             finally:
@@ -152,6 +175,8 @@ class Profiler:
             stat = self._stat(name)
             stat.calls += 1
             stat.time_fwd += elapsed
+            if self._emit_events:
+                self._tracer.complete(name, dur=elapsed, t0=w0, cat="op", phase="fwd")
             if isinstance(out, Tensor):
                 nbytes = out.data.nbytes
                 stat.bytes_out += nbytes
@@ -177,8 +202,17 @@ class Profiler:
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "Profiler":
+        global _ACTIVE_PROFILER
         if self._active:
             raise RuntimeError("profiler is not reentrant")
+        with _ACTIVE_LOCK:
+            if _ACTIVE_PROFILER is not None:
+                raise RuntimeError(
+                    "profiler is not reentrant: another profile() is already "
+                    "active in this process; nesting would double-patch "
+                    "autograd.ops and corrupt attribution"
+                )
+            _ACTIVE_PROFILER = self
         self._active = True
         for attr in self._op_names():
             original = getattr(_ops_module, attr)
@@ -196,17 +230,24 @@ class Profiler:
 
         def traced_backward(tensor, grad=None):
             t0 = time.perf_counter()
+            w0 = time.time() if profiler._emit_events else 0.0
             try:
                 return original_backward(tensor, grad)
             finally:
-                profiler.backward_walk_time += time.perf_counter() - t0
+                elapsed = time.perf_counter() - t0
+                profiler.backward_walk_time += elapsed
                 profiler.backward_calls += 1
+                if profiler._emit_events:
+                    profiler._tracer.complete(
+                        "backward_walk", dur=elapsed, t0=w0, cat="backward"
+                    )
 
         Tensor.backward = traced_backward
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
+        global _ACTIVE_PROFILER
         self.wall_time = time.perf_counter() - self._t0
         for attr, original in self._saved_ops.items():
             setattr(_ops_module, attr, original)
@@ -222,6 +263,9 @@ class Profiler:
                 delattr(owner, attr)
         self._saved_patches.clear()
         self._active = False
+        with _ACTIVE_LOCK:
+            if _ACTIVE_PROFILER is self:
+                _ACTIVE_PROFILER = None
 
     # ------------------------------------------------------------------
     def report(self, wall_time: Optional[float] = None) -> "ProfileReport":
@@ -230,7 +274,7 @@ class Profiler:
 
 
 class _Section:
-    __slots__ = ("_profiler", "_name", "_t0")
+    __slots__ = ("_profiler", "_name", "_t0", "_w0")
 
     def __init__(self, profiler: Profiler, name: str):
         self._profiler = profiler
@@ -238,10 +282,16 @@ class _Section:
 
     def __enter__(self) -> "_Section":
         self._t0 = time.perf_counter()
+        self._w0 = time.time() if self._profiler._emit_events else 0.0
         return self
 
     def __exit__(self, *exc) -> None:
-        self._profiler._record_section(self._name, time.perf_counter() - self._t0)
+        elapsed = time.perf_counter() - self._t0
+        self._profiler._record_section(self._name, elapsed)
+        if self._profiler._emit_events:
+            self._profiler._tracer.complete(
+                self._name, dur=elapsed, t0=self._w0, cat="section"
+            )
 
 
 class ProfileReport:
@@ -364,6 +414,14 @@ class ProfileReport:
         }
 
 
-def profile() -> Profiler:
-    """``with profile() as prof: ...`` — see the module docstring."""
-    return Profiler()
+def profile(tracer: Any = None) -> Profiler:
+    """``with profile() as prof: ...`` — see the module docstring.
+
+    Passing an enabled :class:`~repro.obs.events.Tracer` (or any object
+    with its ``complete()`` surface) additionally emits a timestamped
+    ``complete`` interval per outermost op / backward walk / section, for
+    timeline export.  At most one profiler may be active per process;
+    nesting raises ``RuntimeError`` instead of silently double-patching
+    the ops module.
+    """
+    return Profiler(tracer=tracer)

@@ -25,6 +25,8 @@ from repro.obs.sentinel import SentinelReport, compare_runs
 
 __all__ = [
     "run_table",
+    "AnatomyReport",
+    "epoch_anatomy",
     "sparkline_svg",
     "history_series",
     "html_report",
@@ -406,3 +408,295 @@ def serving_dashboard_html(
         parts.append("</table>")
     parts.append("</body></html>")
     return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Epoch anatomy: time-ordered phase breakdown of a traced training run
+# ----------------------------------------------------------------------
+def _fmt_bytes(n: Optional[float]) -> str:
+    if not n:
+        return "-"
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n:.0f} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"
+
+
+class AnatomyReport:
+    """Phases of the traced epochs ranked by exclusive time and allocation.
+
+    Built by :func:`epoch_anatomy` from raw Tracer events.  ``rows`` hold
+    one entry per (phase name, lane): call count, total and *exclusive*
+    seconds (total minus time covered by nested child intervals — so the
+    rows add up instead of double counting), share of epoch wall, and the
+    bytes the memory tracker attributed to the same name (per-op
+    allocation for op slices, per-phase allocation otherwise).
+
+    ``wall_accounted_fraction`` is the fraction of summed epoch-span wall
+    time covered by leaf intervals on the epoch's own lane — gaps inside
+    any phase (uninstrumented Python glue) count as unaccounted.
+    ``alloc_accounted_fraction`` is the fraction of all allocated bytes
+    that carry a per-op attribution.
+    """
+
+    def __init__(self):
+        self.epochs = 0
+        self.epoch_wall_s = 0.0
+        self.wall_accounted_fraction = 0.0
+        self.alloc_accounted_fraction: Optional[float] = None
+        self.memory: Dict[str, Any] = {}
+        self.rows: List[Dict[str, Any]] = []
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "epochs": self.epochs,
+            "epoch_wall_s": self.epoch_wall_s,
+            "wall_accounted_fraction": self.wall_accounted_fraction,
+            "alloc_accounted_fraction": self.alloc_accounted_fraction,
+            "peak_mem_bytes": self.memory.get("peak_bytes"),
+            "rows": self.rows,
+        }
+
+    def render(self) -> str:
+        from repro.utils import format_table
+
+        table_rows = []
+        for r in self.rows:
+            share = 100.0 * r["excl_s"] / self.epoch_wall_s if self.epoch_wall_s else 0.0
+            table_rows.append(
+                [
+                    r["name"],
+                    r["lane"],
+                    str(r["count"]),
+                    f"{1000.0 * r['total_s']:.2f}",
+                    f"{1000.0 * r['excl_s']:.2f}",
+                    f"{share:.1f}",
+                    _fmt_bytes(r.get("alloc_bytes")),
+                ]
+            )
+        table = format_table(
+            ["phase", "lane", "calls", "total ms", "excl ms", "% epoch", "alloc"],
+            table_rows,
+            title=f"Epoch anatomy — {self.epochs} epoch(s), "
+            f"{self.epoch_wall_s:.3f}s wall",
+        )
+        footer = (
+            f"wall accounted: {100.0 * self.wall_accounted_fraction:.1f}% "
+            f"of epoch time on the driver lane"
+        )
+        if self.alloc_accounted_fraction is not None:
+            footer += (
+                f"; allocation attributed: "
+                f"{100.0 * self.alloc_accounted_fraction:.1f}% of "
+                f"{_fmt_bytes(self.memory.get('total_alloc_bytes'))} allocated "
+                f"(peak {_fmt_bytes(self.memory.get('peak_bytes'))})"
+            )
+        if self.memory.get("leaked_tensors"):
+            footer += (
+                f"\nWARNING: {self.memory['leaked_tensors']} tensor(s) / "
+                f"{_fmt_bytes(self.memory.get('leaked_bytes'))} survived an "
+                "epoch boundary (possible leak)"
+            )
+        return table + "\n" + footer
+
+    def to_html(self) -> str:
+        parts = [
+            "<!doctype html><html><head><meta charset='utf-8'>",
+            "<title>epoch anatomy</title>",
+            _STYLE,
+            "</head><body>",
+            "<h1>Epoch anatomy</h1>",
+            f"<p>{self.epochs} epoch(s), {self.epoch_wall_s:.3f}s wall; "
+            f"accounted {100.0 * self.wall_accounted_fraction:.1f}% of epoch "
+            "time on the driver lane"
+            + (
+                f"; {100.0 * self.alloc_accounted_fraction:.1f}% of allocation "
+                f"attributed (peak {_fmt_bytes(self.memory.get('peak_bytes'))})"
+                if self.alloc_accounted_fraction is not None
+                else ""
+            )
+            + "</p>",
+            "<table><tr><th>phase</th><th>lane</th><th>calls</th>"
+            "<th>total ms</th><th>excl ms</th><th>% epoch</th><th>alloc</th></tr>",
+        ]
+        for r in self.rows:
+            share = 100.0 * r["excl_s"] / self.epoch_wall_s if self.epoch_wall_s else 0.0
+            parts.append(
+                f"<tr><td>{html.escape(str(r['name']))}</td>"
+                f"<td>{html.escape(str(r['lane']))}</td>"
+                f"<td>{r['count']}</td>"
+                f"<td>{1000.0 * r['total_s']:.2f}</td>"
+                f"<td>{1000.0 * r['excl_s']:.2f}</td>"
+                f"<td>{share:.1f}</td>"
+                f"<td>{_fmt_bytes(r.get('alloc_bytes'))}</td></tr>"
+            )
+        parts.append("</table>")
+        if self.memory.get("leaked_tensors"):
+            parts.append(
+                f"<p class='regressed'>WARNING: {self.memory['leaked_tensors']} "
+                f"tensor(s) / {_fmt_bytes(self.memory.get('leaked_bytes'))} "
+                "survived an epoch boundary (possible leak)</p>"
+            )
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+
+def epoch_anatomy(
+    events: Sequence[Dict[str, Any]],
+    memory_summary: Optional[Dict[str, Any]] = None,
+) -> AnatomyReport:
+    """Distil raw Tracer events into an :class:`AnatomyReport`.
+
+    Works on the same event stream ``repro obs timeline`` consumes: epoch
+    spans define the windows, every span/complete interval inside one is
+    a phase (worker-lane intervals are listed under their own lane but do
+    not enter the driver-lane wall accounting, since they run in
+    parallel), and the ``memory_summary`` event — or an explicitly passed
+    dict — supplies per-op allocation.
+    """
+    from repro.obs.timeline import _collect, _nest
+
+    events = list(events)
+    if memory_summary is None:
+        for ev in reversed(events):
+            if ev.get("kind") == "event" and ev.get("name") == "memory_summary":
+                memory_summary = ev.get("attrs") or {}
+                break
+
+    spans_by_lane, completes_by_lane, _counters, _instants = _collect(events)
+    merged: Dict[Any, list] = {}
+    for lane, ivs in spans_by_lane.items():
+        merged.setdefault(lane, []).extend(ivs)
+    for lane, ivs in completes_by_lane.items():
+        merged.setdefault(lane, []).extend(ivs)
+
+    report = AnatomyReport()
+    report.memory = dict(memory_summary or {})
+
+    # Nest each lane, then find the epoch windows on whichever lane the
+    # trainer drove (fall back to parallel_epoch, then to lane roots).
+    forests = {lane: _nest(ivs) for lane, ivs in merged.items()}
+    all_nodes: Dict[Any, list] = {}
+    for lane, roots in forests.items():
+        nodes = []
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            stack.extend(node.children)
+        all_nodes[lane] = nodes
+
+    epoch_nodes = [
+        n for nodes in all_nodes.values() for n in nodes if n.name == "epoch"
+    ]
+    if not epoch_nodes:
+        epoch_nodes = [
+            n
+            for nodes in all_nodes.values()
+            for n in nodes
+            if n.name == "parallel_epoch"
+        ]
+    if not epoch_nodes:
+        epoch_nodes = [r for roots in forests.values() for r in roots]
+    if not epoch_nodes:
+        return report
+
+    epoch_lanes = {id(n): lane for lane, nodes in all_nodes.items() for n in nodes}
+    windows = [(n.t0, n.t1, epoch_lanes[id(n)]) for n in epoch_nodes]
+    report.epochs = len(epoch_nodes)
+    report.epoch_wall_s = sum(n.dur for n in epoch_nodes)
+
+    worker_by_pid: Dict[int, Any] = {}
+    for lane, nodes in all_nodes.items():
+        for n in nodes:
+            if "worker" in n.attrs:
+                worker_by_pid.setdefault(lane[0], n.attrs["worker"])
+    driver_pids = {lane[0] for _, _, lane in windows}
+
+    def lane_label(lane) -> str:
+        if lane[0] in driver_pids:
+            return "main"
+        if lane[0] in worker_by_pid:
+            return f"worker {worker_by_pid[lane[0]]}"
+        return f"pid {lane[0]}"
+
+    def in_window(node, lane) -> bool:
+        mid = 0.5 * (node.t0 + node.t1)
+        return any(t0 <= mid <= t1 for t0, t1, _ in windows)
+
+    by_op = {
+        name: entry.get("bytes", 0)
+        for name, entry in (report.memory.get("by_op") or {}).items()
+    }
+    phase_alloc = {
+        name: entry.get("alloc_bytes", 0)
+        for name, entry in (report.memory.get("phases") or {}).items()
+    }
+
+    grouped: Dict[Any, Dict[str, Any]] = {}
+    unaccounted = 0.0
+
+    def add_row(node, label: str, exclusive: float) -> None:
+        key = (node.name, label)
+        row = grouped.get(key)
+        if row is None:
+            row = grouped[key] = {
+                "name": node.name,
+                "lane": label,
+                "count": 0,
+                "total_s": 0.0,
+                "excl_s": 0.0,
+            }
+        row["count"] += 1
+        row["total_s"] += node.dur
+        row["excl_s"] += exclusive
+
+    def exclusive_of(node) -> float:
+        return max(0.0, node.dur - sum(c.dur for c in node.children))
+
+    # Driver-lane phases: only descendants of the epoch nodes count, and
+    # every non-leaf's internal gap (uninstrumented glue) is unaccounted.
+    for en in epoch_nodes:
+        unaccounted += exclusive_of(en)
+        stack = list(en.children)
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children)
+            exclusive = exclusive_of(node)
+            if node.children:
+                unaccounted += exclusive
+            add_row(node, "main", exclusive)
+
+    # Worker lanes run concurrently with the driver: list them for
+    # attribution but keep them out of the driver-lane wall accounting.
+    for lane, nodes in all_nodes.items():
+        if lane[0] in driver_pids:
+            continue
+        label = lane_label(lane)
+        for node in nodes:
+            if not in_window(node, lane):
+                continue
+            add_row(node, label, exclusive_of(node))
+
+    for row in grouped.values():
+        alloc = by_op.get(row["name"])
+        if alloc is None:
+            alloc = phase_alloc.get(row["name"])
+        if alloc:
+            row["alloc_bytes"] = alloc
+
+    report.rows = sorted(grouped.values(), key=lambda r: r["excl_s"], reverse=True)
+    if report.epoch_wall_s > 0:
+        report.wall_accounted_fraction = max(
+            0.0, 1.0 - unaccounted / report.epoch_wall_s
+        )
+    total_alloc = report.memory.get("total_alloc_bytes")
+    if total_alloc:
+        attributed = sum(
+            entry.get("bytes", 0)
+            for entry in (report.memory.get("by_op") or {}).values()
+        )
+        report.alloc_accounted_fraction = attributed / total_alloc
+    return report

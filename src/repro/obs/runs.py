@@ -181,6 +181,12 @@ class RunRecord:
     #: runs.  Older records simply lack the key; ``from_json`` tolerates
     #: both directions.
     parallel: Dict[str, Any] = field(default_factory=dict)
+    #: :class:`~repro.obs.memory.MemoryTracker` summary (peak/live bytes,
+    #: per-op allocation attribution, per-phase watermarks, epoch-boundary
+    #: leak ledger) — empty unless the run tracked memory.  The scalar
+    #: ``peak_mem_bytes`` is duplicated into ``metrics`` so the sentinel
+    #: gates it like any other metric.
+    memory: Dict[str, Any] = field(default_factory=dict)
     failures: List[Dict[str, Any]] = field(default_factory=list)
     notes: str = ""
     format_version: int = FORMAT_VERSION

@@ -65,6 +65,9 @@ DEFAULT_TOLERANCES: Dict[str, Tolerance] = {
     "p95_ms": Tolerance(rel=0.30, abs=0.05),
     "p99_ms": Tolerance(rel=0.50, abs=0.10),
     "t_per_epoch_s": Tolerance(rel=0.30, abs=0.05),
+    # Allocation is near-deterministic given config + dataset, but batch
+    # layout may shift a little between numpy versions — 15% + 1 MiB floor.
+    "peak_mem_bytes": Tolerance(rel=0.15, abs=1 << 20),
 }
 
 DEFAULT_TOL = Tolerance(rel=0.05)
@@ -72,6 +75,7 @@ DEFAULT_TOL = Tolerance(rel=0.05)
 _LOWER_IS_BETTER = (
     "p50", "p95", "p99", "latency", "loss", "time", "seconds",
     "_s", "_ms", "epoch_s", "build", "budget", "burn",
+    "bytes", "mem", "leak",
 )
 
 

@@ -47,8 +47,10 @@ deterministic.
 
 from __future__ import annotations
 
+import os
 import pickle
 import queue as queue_mod
+import threading
 import time
 import traceback
 from dataclasses import dataclass
@@ -299,6 +301,78 @@ def _merge_param(parts, meta):
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
+class _TelemetryBuffer:
+    """Tracer-shaped event sink for worker processes.
+
+    Workers cannot share the parent's ``Tracer`` (separate processes), so
+    the profiler and memory tracker inside a worker write ``complete`` /
+    ``counter`` records here as plain dicts stamped with the *worker's*
+    pid/tid and wall clock.  Each batch's ``done`` message drains the
+    buffer over the result queue, and the parent re-emits the records
+    into its own tracer with the original pid/tid — which is what gives
+    every worker its own lane in ``repro obs timeline``.
+    """
+
+    MAX_EVENTS = 8192
+    enabled = True
+
+    def __init__(self):
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.events: List[Dict[str, Any]] = []
+        self.dropped = 0
+
+    def complete(self, name, dur, t0=None, pid=None, tid=None, **attrs):
+        if len(self.events) >= self.MAX_EVENTS:
+            self.dropped += 1
+            return
+        self.events.append(
+            {
+                "kind": "complete",
+                "name": name,
+                "dur": float(dur),
+                "t0": time.time() - float(dur) if t0 is None else float(t0),
+                "pid": self.pid,
+                "tid": self.tid,
+                "attrs": attrs,
+            }
+        )
+
+    def counter(self, name, t0=None, pid=None, tid=None, **values):
+        if len(self.events) >= self.MAX_EVENTS:
+            self.dropped += 1
+            return
+        self.events.append(
+            {
+                "kind": "counter",
+                "name": name,
+                "t0": time.time() if t0 is None else float(t0),
+                "pid": self.pid,
+                "tid": self.tid,
+                "attrs": values,
+            }
+        )
+
+    def event(self, name, **attrs):  # epoch-boundary events stay parent-side
+        pass
+
+    def drain(self) -> List[Dict[str, Any]]:
+        events, self.events = self.events, []
+        if self.dropped:
+            events.append(
+                {
+                    "kind": "counter",
+                    "name": "telemetry_dropped",
+                    "t0": time.time(),
+                    "pid": self.pid,
+                    "tid": self.tid,
+                    "attrs": {"dropped": self.dropped},
+                }
+            )
+            self.dropped = 0
+        return events
+
+
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     """Persistent worker loop: epoch prep, then per-batch shard compute.
 
@@ -322,6 +396,22 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
         batch_size = init["batch_size"]
         all_positives = model.dataset.all_positive_items()
         index = PositivePairIndex(all_positives, model.dataset.n_items)
+
+        # Telemetry is opt-in (parent tracing or memory tracking active):
+        # a per-worker profiler + memory tracker stream timestamped events
+        # into a buffer drained by every `done` message.  Parameters are
+        # unpickled above, before the tracker starts, so only per-batch
+        # intermediates are tracked.
+        sink = prof = mem = None
+        if init.get("collect"):
+            from repro.obs.memory import MemoryTracker
+            from repro.obs.profiler import Profiler
+
+            sink = _TelemetryBuffer()
+            prof = Profiler(tracer=sink)
+            prof.__enter__()
+            mem = MemoryTracker(tracer=sink, counter_every=64)
+            mem.start()
 
         param_shm = _attach_shared_memory(init["param_shm"])
         val_shm = _attach_shared_memory(init["val_shm"])
@@ -358,6 +448,12 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
             users, pos_items, neg_items, order = plan
             tick = time.perf_counter()
             _load_snapshot(param_view, params, layout)
+            if sink is not None:
+                sink.complete(
+                    "worker.snapshot",
+                    dur=time.perf_counter() - tick,
+                    worker=worker_id,
+                )
             batch = order[b * batch_size : (b + 1) * batch_size]
             shards = _shard_slices(batch, n_shards)
             summaries = []
@@ -367,6 +463,7 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                     summaries.append((s, 0, 0.0, None))
                     continue
                 scale = part.size / batch.size
+                s_tick = time.perf_counter()
                 loss_value, grads = _compute_shard_grads(
                     model,
                     params,
@@ -377,8 +474,26 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                 )
                 tags = _write_shard_grads(val_view[s], row_view[s] if row_view is not None else None, layout, grads)
                 summaries.append((s, int(part.size), loss_value, tags))
+                if sink is not None:
+                    sink.complete(
+                        "worker.compute",
+                        dur=time.perf_counter() - s_tick,
+                        worker=worker_id,
+                        shard=s,
+                        examples=int(part.size),
+                    )
             busy = time.perf_counter() - tick
-            result_queue.put(("done", worker_id, b, summaries, busy))
+            telemetry = None
+            if sink is not None:
+                sink.counter(
+                    "memory", live_bytes=mem.live_bytes, peak_bytes=mem.peak_bytes
+                )
+                telemetry = {
+                    "events": sink.drain(),
+                    "peak_mem_bytes": int(mem.peak_bytes),
+                    "live_mem_bytes": int(mem.live_bytes),
+                }
+            result_queue.put(("done", worker_id, b, summaries, busy, telemetry))
     except Exception:  # surface the full traceback to the parent
         result_queue.put(("error", worker_id, traceback.format_exc()))
     finally:
@@ -428,6 +543,7 @@ class ParallelEpochEngine:
         shuffle: bool = True,
         batch_size: Optional[int] = None,
         tracer=None,
+        collect_worker_telemetry: bool = False,
     ):
         if num_workers < 1:
             raise ValueError("ParallelEpochEngine needs num_workers >= 1")
@@ -443,6 +559,12 @@ class ParallelEpochEngine:
         from repro.obs.events import NULL_TRACER
 
         self.tracer = tracer or NULL_TRACER
+        #: Workers profile their ops + memory when the parent traces (the
+        #: timeline needs per-worker lanes) or when memory tracking asked
+        #: for worker peaks explicitly.
+        self.collect_telemetry = bool(collect_worker_telemetry) or bool(
+            getattr(self.tracer, "enabled", False)
+        )
         self.params = model.parameters()
         self.layout = _param_layout(self.params)
         self.mode = (
@@ -474,7 +596,45 @@ class ParallelEpochEngine:
             "apply_s": 0.0,
             "snapshot_s": 0.0,
             "worker_busy_s": [0.0] * self.num_workers,
+            "worker_peak_mem_bytes": 0,
         }
+
+    # ------------------------------------------------------------------
+    def _emit_phase(self, name: str, dur: float, **attrs) -> None:
+        """Timestamped phase interval (t0 back-dated by ``dur``)."""
+        if self.tracer.enabled:
+            self.tracer.complete(name, dur=dur, cat="phase", **attrs)
+
+    def _ingest_worker_telemetry(self, wid: int, telemetry) -> None:
+        """Fold one worker's drained events into parent stats + tracer."""
+        if not telemetry:
+            return
+        peak = int(telemetry.get("peak_mem_bytes") or 0)
+        if peak > self.stats["worker_peak_mem_bytes"]:
+            self.stats["worker_peak_mem_bytes"] = peak
+        if not self.tracer.enabled:
+            return
+        for ev in telemetry.get("events", ()):
+            kind = ev.get("kind")
+            attrs = dict(ev.get("attrs") or {})
+            if kind == "complete":
+                attrs.setdefault("worker", wid)
+                self.tracer.complete(
+                    ev["name"],
+                    dur=float(ev.get("dur", 0.0)),
+                    t0=ev.get("t0"),
+                    pid=ev.get("pid"),
+                    tid=ev.get("tid"),
+                    **attrs,
+                )
+            elif kind == "counter":
+                self.tracer.counter(
+                    ev["name"],
+                    t0=ev.get("t0"),
+                    pid=ev.get("pid"),
+                    tid=ev.get("tid"),
+                    **attrs,
+                )
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -485,6 +645,7 @@ class ParallelEpochEngine:
         if self.mode == "inprocess":
             _enable_row_tracking(self.params)
             return
+        spawn_tick = time.perf_counter()
         import multiprocessing as mp
         from multiprocessing import shared_memory
 
@@ -538,6 +699,7 @@ class ParallelEpochEngine:
             "row_shm": row_shm_name,
             "val_total": val_total,
             "row_total": row_total,
+            "collect": self.collect_telemetry,
         }
         ctx = mp.get_context("spawn")
         self._result_queue = ctx.Queue()
@@ -561,6 +723,14 @@ class ParallelEpochEngine:
                     f"parallel worker {msg[1]} failed during startup:\n{msg[2]}"
                 )
             ready.add(msg[1])
+        # Pool spawn (process forks, imports, model unpickling) dominates
+        # the first epoch's wall time; without this slice the timeline and
+        # epoch-anatomy accounting would show a large unexplained gap.
+        self._emit_phase(
+            "parallel.spawn",
+            time.perf_counter() - spawn_tick,
+            workers=self.num_workers,
+        )
 
     def _collect(self, timeout: float):
         """One result-queue message, with liveness checks."""
@@ -608,7 +778,9 @@ class ParallelEpochEngine:
             if self.mode == "process":
                 for task_queue in self._task_queues:
                     task_queue.put(("epoch", epoch))
-            stats["prepare_s"] += time.perf_counter() - tick
+            prepare_dur = time.perf_counter() - tick
+            stats["prepare_s"] += prepare_dur
+            self._emit_phase("parallel.prepare", prepare_dur, epoch=epoch)
 
             result = EpochResult(n_examples=len(users))
             total_loss = 0.0
@@ -626,16 +798,22 @@ class ParallelEpochEngine:
                     for param_parts, meta in zip(parts, self.layout)
                 ]
                 grad_norm = self._grad_norm(merged) if want_grad_norms else None
-                stats["reduce_s"] += time.perf_counter() - tick
+                merge_dur = time.perf_counter() - tick
+                stats["reduce_s"] += merge_dur
+                self._emit_phase("parallel.merge", merge_dur, batch=b)
                 if on_batch is not None:
                     on_batch(start, batch_loss, grad_norm)
                 tick = time.perf_counter()
                 self._apply(merged)
-                stats["apply_s"] += time.perf_counter() - tick
+                apply_dur = time.perf_counter() - tick
+                stats["apply_s"] += apply_dur
+                self._emit_phase("parallel.apply", apply_dur, batch=b)
                 if self.mode == "process":
                     tick = time.perf_counter()
                     _write_snapshot(self._param_view, self.params, self.layout)
-                    stats["snapshot_s"] += time.perf_counter() - tick
+                    snap_dur = time.perf_counter() - tick
+                    stats["snapshot_s"] += snap_dur
+                    self._emit_phase("parallel.snapshot", snap_dur, batch=b)
                 total_loss += batch_loss
                 result.n_batches += 1
                 if grad_norm is not None:
@@ -663,6 +841,7 @@ class ParallelEpochEngine:
             if part.size == 0:
                 continue
             scale = part.size / batch.size
+            s_tick = time.perf_counter()
             loss_value, grads = _compute_shard_grads(
                 self.model,
                 self.params,
@@ -670,6 +849,13 @@ class ParallelEpochEngine:
                 pos_items[part],
                 neg_items[part],
                 scale,
+            )
+            self._emit_phase(
+                "worker.compute",
+                time.perf_counter() - s_tick,
+                worker=0,
+                shard=s,
+                examples=int(part.size),
             )
             batch_loss += loss_value * scale
             for j, grad in enumerate(grads):
@@ -690,14 +876,17 @@ class ParallelEpochEngine:
             msg = self._collect(_RESULT_TIMEOUT_S)
             if msg[0] == "error":
                 raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
-            _, wid, msg_b, worker_summaries, busy = msg
+            _, wid, msg_b, worker_summaries, busy, telemetry = msg
             if msg_b != b:  # stale message from an aborted epoch
                 continue
             for summary in worker_summaries:
                 summaries[summary[0]] = summary
             stats["worker_busy_s"][wid] += busy
+            self._ingest_worker_telemetry(wid, telemetry)
             remaining.discard(wid)
-        stats["sync_wait_s"] += time.perf_counter() - tick
+        sync_dur = time.perf_counter() - tick
+        stats["sync_wait_s"] += sync_dur
+        self._emit_phase("parallel.exchange", sync_dur, batch=b)
 
         tick = time.perf_counter()
         parts = [[None] * self.n_shards for _ in self.params]
@@ -712,7 +901,9 @@ class ParallelEpochEngine:
                 parts[j][s] = _read_shard_grad(
                     self._val_view[s], row_row, meta, tags[j]
                 )
-        stats["reduce_s"] += time.perf_counter() - tick
+        read_dur = time.perf_counter() - tick
+        stats["reduce_s"] += read_dur
+        self._emit_phase("parallel.merge", read_dur, batch=b, stage="read_shards")
         return parts, batch_loss
 
     # ------------------------------------------------------------------

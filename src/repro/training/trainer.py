@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import logging
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -66,6 +67,12 @@ class TrainerConfig:
     #: Lazy row-sparse embedding updates (bit-identical to dense; see
     #: docs/autograd.md).  Escape hatch for A/B timing comparisons.
     sparse_updates: bool = True
+    #: Track tensor allocations during ``fit`` with a
+    #: :class:`~repro.obs.memory.MemoryTracker`: peak/live bytes, per-op
+    #: attribution, epoch-boundary leak detection, and (with a tracer)
+    #: a ``memory`` counter track in the exported timeline.  Parallel
+    #: workers report their own peaks (``worker_peak_mem_bytes``).
+    track_memory: bool = False
     #: Destination of per-epoch progress lines (``verbose``); defaults to
     #: the ``repro.training`` logger, so output works with or without an
     #: ``obs`` tracer attached.
@@ -152,6 +159,7 @@ class Trainer:
                 n_shards=self.config.grad_shards,
                 shuffle=self.config.shuffle,
                 tracer=self.tracer,
+                collect_worker_telemetry=self.config.track_memory,
             )
             self._engine.start()
         return self._engine
@@ -165,6 +173,28 @@ class Trainer:
         if self._engine is not None:
             self._engine.close()
             self._engine = None
+
+    @property
+    def memory_summary(self) -> Dict[str, float]:
+        """Tensor-memory summary from the last ``fit`` (``track_memory``)."""
+        return getattr(self, "_memory_summary", {}) or {}
+
+    @property
+    def peak_mem_bytes(self) -> Optional[float]:
+        """Run-level watermark: the driver-process peak or the highest
+        worker peak, whichever is larger (process mode trains in the
+        workers, so the parent alone under-reports).  ``None`` unless the
+        last ``fit`` ran with ``track_memory``."""
+        memory = self.memory_summary
+        if not memory:
+            return None
+        parallel = getattr(self, "_parallel_summary", {}) or {}
+        return float(
+            max(
+                int(memory.get("peak_bytes", 0)),
+                int(parallel.get("worker_peak_mem_bytes", 0) or 0),
+            )
+        )
 
     def train_epoch(self, epoch: int) -> float:
         """One pass over the training positives; returns the mean loss."""
@@ -307,6 +337,20 @@ class Trainer:
         start_time = time.perf_counter()
         epoch_times: List[float] = []
         self._parallel_summary: Dict = {}
+        self._memory_summary: Dict = {}
+
+        mem = None
+        if cfg.track_memory:
+            from repro.obs.memory import MemoryTracker
+
+            # Parameters exist already, so they are registered persistent
+            # by identity and never counted as epoch leaks.
+            mem = MemoryTracker(tracer=tracer if tracer.enabled else None)
+            mem.start()
+            mem.register_persistent(self.model.parameters())
+
+        def mem_phase(name: str):
+            return mem.phase(name) if mem is not None else nullcontext()
 
         try:
             with tracer.span(
@@ -314,12 +358,15 @@ class Trainer:
                 epochs=cfg.epochs,
             ) as fit_span:
                 for epoch in range(1, cfg.epochs + 1):
+                    if mem is not None:
+                        mem.begin_epoch(epoch)
                     # The epoch span brackets exactly the region timed for
                     # Table VI's t̄, so JSONL epoch durations and the reported
                     # time_per_epoch agree; eval runs in its own span.
                     with tracer.span("epoch", epoch=epoch) as epoch_span:
                         tick = time.perf_counter()
-                        mean_loss = self.train_epoch(epoch)
+                        with mem_phase("train"):
+                            mean_loss = self.train_epoch(epoch)
                         elapsed = time.perf_counter() - tick
                         if tracer.enabled:
                             stats = self.last_epoch_stats
@@ -337,7 +384,7 @@ class Trainer:
 
                     record: Dict[str, float] = {"epoch": epoch, "loss": mean_loss}
                     if cfg.eval_task != "none" and epoch % cfg.eval_every == 0:
-                        with tracer.span("eval", epoch=epoch):
+                        with tracer.span("eval", epoch=epoch), mem_phase("eval"):
                             metrics = self.evaluate()
                         record.update(metrics)
                         metric = metrics.get(cfg.eval_metric)
@@ -357,6 +404,14 @@ class Trainer:
                         # eval_every > 1 the paper's "non-increasing for 10
                         # consecutive epochs" must still mean 10 epochs.
                         epochs_since_best = epoch - result.best_epoch
+                    if mem is not None:
+                        # Intermediates born this epoch must be dead by now;
+                        # survivors are tape/cache leaks (health anomaly
+                        # after `mem_growth_epochs` growing boundaries).
+                        boundary = mem.epoch_boundary(epoch)
+                        self.health.observe_memory(
+                            epoch, boundary["live_bytes"]
+                        )
                     result.history.append(record)
                     if tracer.enabled:
                         tracer.event(
@@ -407,6 +462,11 @@ class Trainer:
             if self._engine is not None:
                 self._parallel_summary = self._engine.summary()
             self.close()
+            if mem is not None:
+                # Unpatch Tensor construction even on abort; the summary
+                # (peak/by_op/leaks) feeds the run record and timeline.
+                mem.stop()
+                self._memory_summary = mem.summary()
         self._record_run(result)
         return result
 
@@ -452,6 +512,10 @@ class Trainer:
             )
             metrics["loss"] = best_record["loss"]
             metrics["final_loss"] = result.history[-1]["loss"]
+        memory_summary = self.memory_summary
+        parallel_summary = getattr(self, "_parallel_summary", {}) or {}
+        if memory_summary:
+            metrics["peak_mem_bytes"] = self.peak_mem_bytes
         record = RunRecord(
             kind="train",
             model=model.name,
@@ -468,7 +532,8 @@ class Trainer:
             stopped_early=result.stopped_early,
             spans=self.tracer.summary() if self.tracer.enabled else {},
             anomalies=self.health.anomalies,
-            parallel=getattr(self, "_parallel_summary", {}),
+            parallel=parallel_summary,
+            memory=memory_summary,
         )
         store.save(record)
         self.last_run_record = record

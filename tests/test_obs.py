@@ -108,6 +108,95 @@ class TestTracer:
         assert NULL_TRACER.summary() == {}
         assert not NULL_TRACER.enabled
 
+    def test_stack_unwinds_when_caller_swallows_the_exception(self):
+        tracer = Tracer()
+
+        def fails_inside_span():
+            with tracer.span("risky"):
+                raise ValueError("expected")
+
+        for attempt in range(3):
+            try:
+                fails_inside_span()
+            except ValueError:
+                pass  # swallowed above the `with` block
+        assert tracer.current_span() is None
+        # New spans are top-level, not parented under a dead span.
+        with tracer.span("after"):
+            pass
+        start = [e for e in tracer.events if e["name"] == "after"][0]
+        assert "parent" not in start
+
+    def test_failing_end_emit_does_not_mask_body_exception(self):
+        tracer = Tracer()
+        original_emit = tracer._emit
+
+        def flaky_emit(kind, name, **fields):
+            if kind == "span_end":
+                raise OSError("disk full")
+            return original_emit(kind, name, **fields)
+
+        tracer._emit = flaky_emit
+        # The body's ValueError must surface, not the emit's OSError ...
+        with pytest.raises(ValueError, match="body"):
+            with tracer.span("doomed"):
+                raise ValueError("body")
+        # ... and the stack must be clean afterwards.
+        assert tracer.current_span() is None
+        # Without a body exception the emit failure does propagate.
+        with pytest.raises(OSError):
+            with tracer.span("doomed-again"):
+                pass
+        assert tracer.current_span() is None
+
+    def test_failing_start_emit_leaves_no_ghost_span(self):
+        tracer = Tracer()
+        original_emit = tracer._emit
+
+        def flaky_emit(kind, name, **fields):
+            if kind == "span_start" and name == "broken":
+                raise OSError("closed file")
+            return original_emit(kind, name, **fields)
+
+        tracer._emit = flaky_emit
+        with pytest.raises(OSError):
+            tracer.span("broken").__enter__()
+        assert tracer.current_span() is None
+        with tracer.span("after"):
+            pass
+        start = [e for e in tracer.events if e["name"] == "after"][0]
+        assert "parent" not in start
+
+    def test_complete_records_interval_with_lane_identity(self):
+        import os
+        import threading
+
+        tracer = Tracer()
+        tracer.complete("matmul", dur=0.25, cat="op", phase="fwd")
+        record = tracer.events[-1]
+        assert record["kind"] == "complete"
+        assert record["dur"] == 0.25
+        # t0 defaults to now - dur.
+        assert record["t0"] == pytest.approx(record["ts"] - 0.25, abs=0.05)
+        assert record["pid"] == os.getpid()
+        assert record["tid"] == threading.get_ident()
+        assert record["attrs"] == {"cat": "op", "phase": "fwd"}
+        # Re-emitting worker telemetry overrides the lane identity.
+        tracer.complete("worker.compute", dur=0.1, t0=123.0, pid=999, tid=7)
+        record = tracer.events[-1]
+        assert (record["pid"], record["tid"], record["t0"]) == (999, 7, 123.0)
+
+    def test_counter_records_series_sample(self):
+        tracer = Tracer()
+        with tracer.span("epoch"):
+            tracer.counter("memory", live_bytes=2048, peak_bytes=4096)
+        record = [e for e in tracer.events if e["kind"] == "counter"][0]
+        assert record["name"] == "memory"
+        assert record["attrs"] == {"live_bytes": 2048, "peak_bytes": 4096}
+        tracer.counter("memory", t0=5.0, pid=999, tid=7, live_bytes=1)
+        record = tracer.events[-1]
+        assert (record["pid"], record["tid"], record["t0"]) == (999, 7, 5.0)
+
     def test_default_tracer_install_and_reset(self):
         tracer = Tracer()
         set_default_tracer(tracer)
@@ -119,21 +208,21 @@ class TestTracer:
 
 
 # ----------------------------------------------------------------------
-# Metrics (obs.metrics + serve backward compat)
+# Metrics (obs.metrics)
 # ----------------------------------------------------------------------
 class TestMetrics:
-    def test_serve_shim_warns_but_reexports_same_class(self):
+    def test_serve_shim_is_gone_but_serve_still_reexports(self):
         import importlib
         import sys
 
         from repro import serve
 
+        # The deprecated repro.serve.metrics shim was removed after two
+        # releases; the canonical class lives in repro.obs.metrics and
+        # repro.serve re-exports it directly.
         sys.modules.pop("repro.serve.metrics", None)
-        with pytest.warns(DeprecationWarning, match="repro.obs.metrics"):
-            serve_metrics = importlib.import_module("repro.serve.metrics")
-        assert serve_metrics.MetricsRegistry is MetricsRegistry
-        assert serve_metrics.LatencyHistogram is LatencyHistogram
-        # repro.serve itself no longer routes through the shim.
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.serve.metrics")
         assert serve.MetricsRegistry is MetricsRegistry
 
     def test_percentile_empty_window_returns_zero(self):
@@ -253,6 +342,43 @@ class TestProfiler:
         with profile() as prof:
             with pytest.raises(RuntimeError):
                 prof.__enter__()
+
+    def test_not_reentrant_across_instances(self):
+        # A *different* Profiler would wrap the first one's wrappers and
+        # then restore the wrapped functions as "originals" — refuse it.
+        with profile():
+            with pytest.raises(RuntimeError, match="not reentrant"):
+                profile().__enter__()
+        # The guard releases on exit: profiling works again, and the op
+        # table is restored to the raw functions.
+        with profile() as prof:
+            a = Tensor(np.ones((2, 2)))
+            ops.add(a, a)
+        assert prof.op_stats["add"].calls == 1
+
+    def test_emits_complete_events_through_tracer(self):
+        tracer = Tracer()
+        with profile(tracer=tracer) as prof:
+            a = Tensor(np.ones((3, 3)), requires_grad=True)
+            b = Tensor(np.ones((3, 3)))
+            out = ops.sum(ops.matmul(a, b))
+            out.backward()
+            with prof.section("optimizer.step"):
+                pass
+        completes = [e for e in tracer.events if e["kind"] == "complete"]
+        cats = {e["name"]: e["attrs"]["cat"] for e in completes}
+        assert cats["matmul"] == "op"
+        assert cats["backward_walk"] == "backward"
+        assert cats["optimizer.step"] == "section"
+        fwd = [
+            e for e in completes
+            if e["name"] == "matmul" and e["attrs"].get("phase") == "fwd"
+        ]
+        bwd = [
+            e for e in completes
+            if e["name"] == "matmul" and e["attrs"].get("phase") == "bwd"
+        ]
+        assert fwd and bwd
 
 
 # ----------------------------------------------------------------------
