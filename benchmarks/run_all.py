@@ -57,6 +57,7 @@ BENCHES = [
     ("table10_aggregator_g", "benchmarks.bench_table10_aggregator_g", "Table X", "Aggregator g"),
     ("table11_depth", "benchmarks.bench_table11_depth", "Table XI", "Extraction depth L"),
     ("ext_nonuniform_sampling", "benchmarks.bench_ext_nonuniform_sampling", "Extension", "Non-uniform KG sampling (future work #1)"),
+    ("objective_bpr", "benchmarks.bench_objective_bpr", "Extension", "Pointwise CE vs pairwise BPR objective"),
     ("serving_latency", "benchmarks.bench_serving_latency", "Infrastructure", "Serving QPS/latency: index + cache vs naive scoring"),
     ("ann_retrieval", "benchmarks.bench_ann_retrieval", "Infrastructure", "IVF/PQ approximate retrieval: recall@20 vs latency/memory"),
     ("parallel_scaling", "benchmarks.bench_parallel_scaling", "Infrastructure", "Data-parallel epoch engine scaling (workers 1/2/4)"),

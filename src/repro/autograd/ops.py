@@ -722,3 +722,30 @@ def scatter_rows(values: TensorLike, indices: ArrayLike, n_rows: int) -> Tensor:
         return g[idx]
 
     return Tensor._make(out, (values,), (backward,), "scatter_rows")
+
+
+def bpr_loss(pos_scores: TensorLike, neg_scores: TensorLike) -> Tensor:
+    """Bayesian personalized ranking loss: ``-mean(log σ(ŷ⁺ - ŷ⁻))``.
+
+    The pairwise objective shared by BPRMF/LightGCN/NGCF/KGAT (Rendle et
+    al., 2009); composed from primitive ops so the tape differentiates it.
+    """
+    return neg(mean(log_sigmoid(sub(pos_scores, neg_scores))))
+
+
+def emb_loss(tensors: Sequence[Tensor]) -> Tensor:
+    """Embedding L2 over a batch's *gathered rows*: ``Σ_t ½‖t‖² / B``.
+
+    The KGAT/RecBole ``EmbLoss`` convention — squared Frobenius norm of
+    each gathered embedding block, halved and averaged over the batch
+    size ``B`` (leading dimension of the first block).  Unlike optimizer
+    weight decay this only regularizes rows that appear in the batch,
+    which is what the pairwise objective of this model family pairs with.
+    """
+    blocks = [ensure_tensor(t) for t in tensors]
+    if not blocks:
+        return Tensor(0.0)
+    batch = int(blocks[0].shape[0]) if blocks[0].ndim else 1
+    if batch < 1:  # empty batch — avoid a divide by zero (`max` is an op here)
+        batch = 1
+    return mul(l2_norm_squared(blocks), 0.5 / batch)

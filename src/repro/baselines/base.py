@@ -17,7 +17,7 @@ model-vs-model tables to be meaningful.
 from __future__ import annotations
 
 import inspect
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,12 @@ class Recommender(Module):
     lr: float = 1e-2
     #: Mini-batch size the trainer should use unless overridden.
     batch_size: int = 128
+    #: Active training objective: ``"ce"`` (the model's native
+    #: :meth:`loss`, pointwise sigmoid-CE by default) or ``"bpr"``
+    #: (:meth:`pairwise_loss`, BPR + batch-row EmbLoss).  Set by the
+    #: trainer from :class:`~repro.training.trainer.TrainerConfig`; kept
+    #: as a model attribute so it pickles into parallel-engine workers.
+    objective: str = "ce"
 
     def __init__(self, dataset: RecDataset, seed: int = 0):
         self.dataset = dataset
@@ -143,4 +149,73 @@ class Recommender(Module):
         """Bayesian personalized ranking loss (used by BPRMF/CKE/KGAT)."""
         pos = self.score_pairs(users, pos_items)
         neg = self.score_pairs(users, neg_items)
-        return ops.neg(ops.mean(ops.log_sigmoid(ops.sub(pos, neg))))
+        return ops.bpr_loss(pos, neg)
+
+    # ------------------------------------------------------------------
+    def training_loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
+        """Batch loss under the active :attr:`objective`.
+
+        The single entry point the trainer and the parallel engine call:
+        ``"ce"`` dispatches to the model's native :meth:`loss` (bit-
+        identical to the pre-objective-axis behavior), ``"bpr"`` to
+        :meth:`pairwise_loss`.
+        """
+        if self.objective == "bpr":
+            return self.pairwise_loss(users, pos_items, neg_items)
+        if self.objective != "ce":
+            raise ValueError(f"unknown training objective {self.objective!r}")
+        return self.loss(users, pos_items, neg_items)
+
+    def pairwise_loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
+        """BPR + batch-row embedding L2 (the KGAT/RecBole recipe).
+
+        ``-mean(log σ(ŷ⁺ - ŷ⁻))`` plus ``λ · EmbLoss`` over the rows
+        :meth:`batch_embeddings` gathers for this batch.  λ reuses the
+        model's :attr:`l2`; under this objective the trainer builds the
+        optimizer with ``weight_decay=0`` so regularization is not applied
+        twice.  Positives and negatives are scored in one forward pass for
+        the same per-batch fixed-cost reason as the default :meth:`loss`.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        pos_items = np.asarray(pos_items, dtype=np.int64)
+        neg_items = np.asarray(neg_items, dtype=np.int64)
+        n = len(users)
+        scores = self.score_pairs(
+            np.concatenate([users, users]),
+            np.concatenate([pos_items, neg_items]),
+        )
+        pos = ops.index_select(scores, np.arange(n))
+        neg = ops.index_select(scores, np.arange(n, 2 * n))
+        mf = ops.bpr_loss(pos, neg)
+        if not self.l2:
+            return mf
+        rows = self.batch_embeddings(users, pos_items, neg_items)
+        if not rows:
+            return mf
+        return ops.add(mf, ops.mul(ops.emb_loss(rows), self.l2))
+
+    def batch_embeddings(
+        self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray
+    ) -> List[Tensor]:
+        """Embedding rows to L2-regularize for a batch (EmbLoss inputs).
+
+        The default walks the attribute conventions shared by the model
+        zoo: a ``user_embedding`` table indexed by user id, and item rows
+        from whichever of ``item_embedding`` / ``item_cf_embedding`` /
+        ``entity_embedding`` tables exist (items are entities in the
+        KGCN-family models, so item ids index the entity table directly).
+        Models with other layouts (KGAT's unified ``node_embedding``)
+        override this.
+        """
+        from repro.autograd.nn import Embedding
+
+        rows: List[Tensor] = []
+        item_ids = np.concatenate([pos_items, neg_items]).astype(np.int64)
+        user_table = getattr(self, "user_embedding", None)
+        if isinstance(user_table, Embedding):
+            rows.append(user_table(np.asarray(users, dtype=np.int64)))
+        for attr in ("item_embedding", "item_cf_embedding", "entity_embedding"):
+            table = getattr(self, attr, None)
+            if isinstance(table, Embedding):
+                rows.append(table(item_ids))
+        return rows

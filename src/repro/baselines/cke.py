@@ -88,3 +88,8 @@ class CKE(Recommender):
     def loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
         cf = self.bpr_loss(users, pos_items, neg_items)
         return ops.add(cf, ops.mul(self.kg_loss(), self.kg_weight))
+
+    def pairwise_loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
+        # BPR + batch-row EmbLoss from the base, keeping the TransR term.
+        cf = super().pairwise_loss(users, pos_items, neg_items)
+        return ops.add(cf, ops.mul(self.kg_loss(), self.kg_weight))

@@ -174,6 +174,34 @@ class KGAT(Recommender):
         cf = ops.neg(ops.mean(ops.log_sigmoid(ops.sub(pos, neg))))
         return ops.add(cf, ops.mul(self.kg_loss(), self.kg_weight))
 
+    def pairwise_loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
+        # KGAT's native CF loss is already BPR over propagated embeddings;
+        # the objective axis only swaps optimizer weight decay for the
+        # batch-row EmbLoss of the official implementation and keeps the
+        # TransR KG term.
+        self._cached_embeddings = None  # parameters are about to change
+        all_nodes = self._propagate()
+        users = np.asarray(users, dtype=np.int64)
+        v_u = ops.gather_rows(all_nodes, users + self.unified.n_entities)
+        pos = ops.sum(ops.mul(v_u, ops.gather_rows(all_nodes, pos_items)), axis=-1)
+        neg = ops.sum(ops.mul(v_u, ops.gather_rows(all_nodes, neg_items)), axis=-1)
+        cf = ops.bpr_loss(pos, neg)
+        if self.l2:
+            rows = self.batch_embeddings(users, pos_items, neg_items)
+            cf = ops.add(cf, ops.mul(ops.emb_loss(rows), self.l2))
+        return ops.add(cf, ops.mul(self.kg_loss(), self.kg_weight))
+
+    def batch_embeddings(self, users, pos_items, neg_items):
+        # Users and items share the unified node table (users offset past
+        # the entities); three blocks so EmbLoss normalizes by the batch
+        # size, matching the official KGAT recipe.
+        users = np.asarray(users, dtype=np.int64) + self.unified.n_entities
+        return [
+            self.node_embedding(users),
+            self.node_embedding(np.asarray(pos_items, dtype=np.int64)),
+            self.node_embedding(np.asarray(neg_items, dtype=np.int64)),
+        ]
+
     # ------------------------------------------------------------------
     def pretrain(self, epochs: int = 20) -> None:
         """Initialize user/item rows from a quickly-trained BPRMF

@@ -109,13 +109,25 @@ class KGNNLS(KGCN):
     # ------------------------------------------------------------------
     def loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
         base = super().loss(users, pos_items, neg_items)
+        ls = self._label_smoothness_term(users, pos_items, neg_items)
+        return ops.add(base, ops.mul(ls, self.ls_weight))
+
+    def pairwise_loss(self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray) -> Tensor:
+        # The label-smoothness regularizer is the model's identity; keep
+        # it under the pairwise objective too.
+        base = super().pairwise_loss(users, pos_items, neg_items)
+        ls = self._label_smoothness_term(users, pos_items, neg_items)
+        return ops.add(base, ops.mul(ls, self.ls_weight))
+
+    def _label_smoothness_term(
+        self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray
+    ) -> Tensor:
         pred_pos = self._propagated_label(users, pos_items)
         pred_neg = self._propagated_label(users, neg_items)
         eps = 1e-6
-        ls = ops.neg(
+        return ops.neg(
             ops.add(
                 ops.mean(ops.log(ops.add(pred_pos, eps))),
                 ops.mean(ops.log(ops.add(ops.sub(1.0 + eps, pred_neg), 0.0))),
             )
         )
-        return ops.add(base, ops.mul(ls, self.ls_weight))

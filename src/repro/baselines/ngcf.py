@@ -119,6 +119,10 @@ class NGCF(Recommender):
         neg = ops.sum(ops.mul(v_u, ops.gather_rows(table, np.asarray(neg_items) + self.dataset.n_users)), axis=-1)
         return ops.neg(ops.mean(ops.log_sigmoid(ops.sub(pos, neg))))
 
+    def pairwise_loss(self, users, pos_items, neg_items) -> Tensor:
+        self._cached = None  # parameters are about to change
+        return super().pairwise_loss(users, pos_items, neg_items)
+
     def predict(self, users, items, batch_size: int = 8192) -> np.ndarray:
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)

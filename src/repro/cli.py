@@ -4,8 +4,10 @@ Usage (after ``pip install -e .``)::
 
     python -m repro datasets                      # list profiles + stats
     python -m repro generate --dataset book --out /tmp/book
+    python -m repro prep --data-dir /tmp/book --out /tmp/book-prep --min-user-k 3
     python -m repro train --dataset music --model cg-kgr --epochs 20
-    python -m repro train --data-dir /tmp/book --model ckan
+    python -m repro train --data-dir /tmp/book-prep --model ckan
+    python -m repro train --dataset movie --model cg-kgr --objective bpr
     python -m repro compare --dataset book --models bprmf,kgcn,cg-kgr
     python -m repro export --dataset music --model cg-kgr --out ckpt/
     python -m repro serve --checkpoint ckpt/ --port 8080
@@ -102,6 +104,54 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_prep(args) -> int:
+    """Run the dataset-preparation pipeline (docs/data.md)."""
+    import os
+
+    from repro.data.prep import PrepConfig, prepare_dataset, write_prepared
+
+    if args.data_dir:
+        ratings = os.path.join(args.data_dir, args.ratings_filename)
+        kg = os.path.join(args.data_dir, args.kg_filename)
+    else:
+        if not (args.ratings and args.kg):
+            print(
+                "prep needs --data-dir DIR or both --ratings and --kg",
+                file=sys.stderr,
+            )
+            return 2
+        ratings, kg = args.ratings, args.kg
+    config = PrepConfig(
+        min_user_interactions=args.min_user_k,
+        min_item_interactions=args.min_item_k,
+        min_relation_count=args.min_relation_count,
+        max_kg_hops=args.kg_hops if args.kg_hops >= 0 else None,
+        split_seed=args.split_seed,
+        name=args.name or os.path.basename(os.path.normpath(args.out)),
+    )
+    result = prepare_dataset(ratings, kg, config)
+    manifest = write_prepared(args.out, result)
+    sizes = manifest["sizes"]
+    stats = manifest["stats"]
+    print(
+        f"prepared '{manifest['name']}': {sizes['n_users']} users × "
+        f"{sizes['n_items']} items, {sizes['n_interactions']} interactions, "
+        f"{sizes['n_triples']} KG triples over {sizes['n_entities']} "
+        f"entities / {sizes['n_relations']} relations"
+    )
+    print(
+        "dropped: "
+        f"{stats['duplicate_pairs_dropped']} duplicate pairs, "
+        f"{stats['duplicate_triples_dropped']} duplicate triples, "
+        f"{stats['relations_dropped']} rare relations, "
+        f"{stats['kcore_pairs_dropped']} k-core pairs, "
+        f"{stats['orphan_triples_dropped']} orphan triples"
+    )
+    print(f"fingerprint {manifest['fingerprint'][:16]}… -> {args.out}")
+    print(f"train with: repro train --data-dir {args.out}")
+    return 0
+
+
 def _make_tracer(args):
     """Build a Tracer from ``--trace PATH`` / ``--timeline PATH``.
 
@@ -176,6 +226,7 @@ def cmd_train(args) -> int:
             eval_metric=f"recall@{args.k}",
             eval_k=args.k,
             eval_max_users=args.eval_users,
+            objective=args.objective,
             verbose=args.verbose,
             seed=args.seed,
             num_workers=args.workers,
@@ -232,6 +283,7 @@ def cmd_compare(args) -> int:
             eval_metric=f"recall@{args.k}",
             eval_k=args.k,
             eval_max_users=args.eval_users,
+            objective=args.objective,
             num_workers=args.workers,
         ),
         topk_values=(args.k,),
@@ -306,6 +358,7 @@ def cmd_export(args) -> int:
             eval_metric=f"recall@{args.k}",
             eval_k=args.k,
             eval_max_users=args.eval_users,
+            objective=args.objective,
             verbose=args.verbose,
             seed=args.seed,
             num_workers=args.workers,
@@ -434,7 +487,12 @@ def cmd_profile(args) -> int:
 
     dataset = _load_dataset(args)
     model = _make_model(args.model, dataset, args.seed)
-    optimizer = Adam(model.parameters(), lr=model.lr, weight_decay=model.l2)
+    model.objective = args.objective
+    optimizer = Adam(
+        model.parameters(),
+        lr=model.lr,
+        weight_decay=0.0 if args.objective == "bpr" else model.l2,
+    )
     train = dataset.train
     rng = np.random.default_rng(args.seed)
     negatives = sample_training_negatives(
@@ -447,7 +505,7 @@ def cmd_profile(args) -> int:
     def one_step(step: int) -> None:
         lo = (step * batch_size) % max(1, len(users) - batch_size + 1)
         batch = order[lo : lo + batch_size]
-        loss = model.loss(users[batch], pos_items[batch], negatives[batch])
+        loss = model.training_loss(users[batch], pos_items[batch], negatives[batch])
         optimizer.zero_grad()
         loss.backward()
         optimizer.step()
@@ -723,11 +781,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_generate)
 
+    p = sub.add_parser(
+        "prep",
+        help="prepare a raw ratings/kg file pair: dedup, filter, k-core, "
+        "link, remap, split, serialize (docs/data.md)",
+    )
+    p.add_argument("--data-dir", default=None,
+                   help="directory holding the raw ratings/kg files")
+    p.add_argument("--ratings", default=None, help="explicit ratings file path")
+    p.add_argument("--kg", default=None, help="explicit kg file path")
+    p.add_argument("--ratings-filename", default="ratings_final.txt",
+                   help="ratings filename inside --data-dir")
+    p.add_argument("--kg-filename", default="kg_final.txt",
+                   help="kg filename inside --data-dir")
+    p.add_argument("--out", required=True, help="prepared dataset directory to create")
+    p.add_argument("--name", default=None,
+                   help="dataset name in the manifest (default: --out basename)")
+    p.add_argument("--min-user-k", type=int, default=1, metavar="K",
+                   help="k-core: drop users with < K interactions")
+    p.add_argument("--min-item-k", type=int, default=1, metavar="K",
+                   help="k-core: drop items with < K interactions")
+    p.add_argument("--min-relation-count", type=int, default=1, metavar="N",
+                   help="drop relations with < N triples")
+    p.add_argument("--kg-hops", type=int, default=-1, metavar="H",
+                   help="entity-linking radius in KG expansion rounds "
+                   "(-1 = walk to closure)")
+    p.add_argument("--split-seed", type=int, default=0)
+    p.set_defaults(func=cmd_prep)
+
     train_common = argparse.ArgumentParser(add_help=False, parents=[common])
     train_common.add_argument("--epochs", type=int, default=30)
     train_common.add_argument("--patience", type=int, default=8)
     train_common.add_argument("--k", type=int, default=20)
     train_common.add_argument("--eval-users", type=int, default=60)
+    train_common.add_argument(
+        "--objective", default="ce", choices=["ce", "bpr"],
+        help="training objective: 'ce' = pointwise sigmoid-CE (Eq. 22, "
+        "default), 'bpr' = pairwise BPR + batch-row embedding L2 "
+        "(the KGAT/RecBole recipe; see docs/training.md)",
+    )
     train_common.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="data-parallel training workers (0 = classic single-process "
@@ -850,6 +942,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--track-memory", action="store_true",
         help="also track tensor allocations during the profiled steps",
+    )
+    p.add_argument(
+        "--objective", default="ce", choices=["ce", "bpr"],
+        help="profile the 'ce' or 'bpr' training objective",
     )
     p.set_defaults(func=cmd_profile)
 

@@ -16,6 +16,15 @@ from repro.data.synthetic import (
     generate_profile,
 )
 from repro.data.loaders import load_interactions_file, load_kg_file, load_dataset_dir
+from repro.data.prep import (
+    PrepConfig,
+    PrepResult,
+    is_prepared_dir,
+    load_prepared,
+    prepare,
+    prepare_dataset,
+    write_prepared,
+)
 
 __all__ = [
     "RecDataset",
@@ -30,4 +39,11 @@ __all__ = [
     "load_interactions_file",
     "load_kg_file",
     "load_dataset_dir",
+    "PrepConfig",
+    "PrepResult",
+    "prepare",
+    "prepare_dataset",
+    "write_prepared",
+    "load_prepared",
+    "is_prepared_dir",
 ]

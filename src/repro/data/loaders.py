@@ -63,7 +63,12 @@ def load_interactions_file(path: str) -> InteractionGraph:
             raise ValueError(
                 f"{path}:{lineno}: negative id (user={u}, item={i})"
             )
-    positives = [(u, i) for _, (u, i, label) in rows if label == 1]
+    # Real exports occasionally repeat a rating line; duplicates would
+    # inflate user/item degrees and CTR positive counts, so keep the first
+    # occurrence of each (user, item) pair only.
+    positives = list(
+        dict.fromkeys((u, i) for _, (u, i, label) in rows if label == 1)
+    )
     if not positives:
         raise ValueError(f"{path}: no positive interactions found")
     n_users = max(u for _, (u, _, _) in rows) + 1
@@ -96,6 +101,9 @@ def load_kg_file(path: str, n_entities: int | None = None, n_relations: int | No
                 f"n_relations={n_relations}"
             )
         triples.append((h, r, t))
+    # Duplicate triples inflate entity degrees (and thus neighbor-sampling
+    # weights); keep the first occurrence of each (h, r, t).
+    triples = list(dict.fromkeys(triples))
     return KnowledgeGraph(triples, n_entities=n_entities, n_relations=n_relations)
 
 
@@ -106,7 +114,17 @@ def load_dataset_dir(
     ratings_filename: str = "ratings_final.txt",
     kg_filename: str = "kg_final.txt",
 ) -> RecDataset:
-    """Load a full benchmark from a directory in the artifact layout."""
+    """Load a full benchmark from a directory in the artifact layout.
+
+    A directory produced by ``repro prep`` (``manifest.json`` +
+    ``prepared.npz``) is detected and loaded through
+    :func:`repro.data.prep.load_prepared` instead — its stored splits are
+    used verbatim, so ``split_seed`` does not apply there.
+    """
+    from repro.data.prep import is_prepared_dir, load_prepared
+
+    if is_prepared_dir(directory):
+        return load_prepared(directory)
     ratings_path = os.path.join(directory, ratings_filename)
     kg_path = os.path.join(directory, kg_filename)
     interactions = load_interactions_file(ratings_path)

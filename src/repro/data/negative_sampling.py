@@ -136,10 +136,38 @@ def sample_ctr_negatives(
 
     Returns ``(users, items, labels)`` where each positive pair of the
     split is matched by one sampled negative for the same user.
+
+    Frozen evaluation negatives are drawn from the **exact complement** of
+    the user's positives across every split — unlike the training sampler,
+    there is no soft draw-and-reject fallback, so a held-out positive can
+    never leak into the negative class and depress AUC/F1.  A user whose
+    positives cover the whole catalogue has no valid negative; that user's
+    pairs are dropped entirely (both halves, keeping the set balanced).
     """
-    pos_users = split.users
-    pos_items = split.items
-    neg_items = sample_training_negatives(split, all_positive_items, n_items, rng)
+    pos_users = np.asarray(split.users, dtype=np.int64)
+    pos_items = np.asarray(split.items, dtype=np.int64)
+    neg_items = np.full(len(pos_users), -1, dtype=np.int64)
+    # Group the split's rows by user (stable argsort keeps users ascending,
+    # so the rng stream is deterministic for a fixed split), then draw each
+    # user's negatives uniformly from their unobserved-item complement.
+    order = np.argsort(pos_users, kind="stable")
+    boundaries = np.flatnonzero(np.diff(pos_users[order])) + 1
+    for rows in np.split(order, boundaries) if len(order) else []:
+        user = int(pos_users[rows[0]])
+        seen = all_positive_items.get(user, set())
+        forbidden = np.fromiter(seen, dtype=np.int64, count=len(seen))
+        complement = np.setdiff1d(
+            np.arange(n_items, dtype=np.int64), forbidden
+        )
+        if complement.size:
+            picks = rng.integers(0, complement.size, size=rows.size)
+            neg_items[rows] = complement[picks]
+    keep = neg_items >= 0
+    pos_users, pos_items, neg_items = (
+        pos_users[keep],
+        pos_items[keep],
+        neg_items[keep],
+    )
     users = np.concatenate([pos_users, pos_users])
     items = np.concatenate([pos_items, neg_items])
     labels = np.concatenate(

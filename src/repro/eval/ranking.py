@@ -17,31 +17,43 @@ from repro.baselines.base import Recommender
 from repro.graph.interactions import InteractionGraph
 
 
+def _check_metric_args(metric: str, relevant: Set[int], k: int) -> None:
+    """Shared argument validation for every per-user ranking metric.
+
+    All six metrics agree on the degenerate cases: an empty relevant set
+    makes the metric undefined (the caller should have filtered the user
+    out), and a non-positive cutoff is always a caller bug — silently
+    returning 0.0 for either would hide protocol mistakes in averages.
+    """
+    if k <= 0:
+        raise ValueError(f"{metric} requires a positive k, got {k}")
+    if not relevant:
+        raise ValueError(f"{metric} undefined for an empty relevant set")
+
+
 def recall_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
     """|top-k ∩ relevant| / |relevant|."""
-    if not relevant:
-        raise ValueError("recall undefined for an empty relevant set")
+    _check_metric_args("recall", relevant, k)
     hits = sum(1 for item in ranked[:k] if item in relevant)
     return hits / len(relevant)
 
 
 def precision_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
     """|top-k ∩ relevant| / k."""
-    if k <= 0:
-        raise ValueError("k must be positive")
+    _check_metric_args("precision", relevant, k)
     hits = sum(1 for item in ranked[:k] if item in relevant)
     return hits / k
 
 
 def hit_ratio_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
     """1 if any relevant item appears in the top-k."""
+    _check_metric_args("hit_ratio", relevant, k)
     return 1.0 if any(item in relevant for item in ranked[:k]) else 0.0
 
 
 def ndcg_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
     """Binary-relevance NDCG with the ideal DCG as normalizer."""
-    if not relevant:
-        raise ValueError("ndcg undefined for an empty relevant set")
+    _check_metric_args("ndcg", relevant, k)
     dcg = 0.0
     for position, item in enumerate(ranked[:k]):
         if item in relevant:
@@ -155,7 +167,16 @@ def evaluate_topk(
     }
     if mask_table is None:
         mask_table = build_mask_table(mask_splits, test.n_users)
+    n_skipped = 0
     for user in test_users:
+        # A user whose masked positives cover the whole catalogue has no
+        # candidate pool left to rank against: after the ground truth is
+        # unmasked below, every competitor sits at -inf, so each test
+        # positive trivially lands in the top-k and the user contributes
+        # perfect-looking garbage to the averages.  Skip and count them.
+        if mask_table[user].size >= test.n_items:
+            n_skipped += 1
+            continue
         relevant = set(test.items_of(user))
         # Never mask the ground truth itself.
         masked = np.setdiff1d(
@@ -174,14 +195,15 @@ def evaluate_topk(
             sums[f"map@{k}"] += map_at_k(ranked_list, relevant, k)
             sums[f"mrr@{k}"] += mrr_at_k(ranked_list, relevant, k)
 
-    n = max(1, len(test_users))
-    return {key: value / n for key, value in sums.items()}
+    n = max(1, len(test_users) - n_skipped)
+    result = {key: value / n for key, value in sums.items()}
+    result["n_skipped_users"] = float(n_skipped)
+    return result
 
 
 def mrr_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
     """Mean reciprocal rank of the first relevant item within the top-k."""
-    if not relevant:
-        raise ValueError("mrr undefined for an empty relevant set")
+    _check_metric_args("mrr", relevant, k)
     for position, item in enumerate(ranked[:k]):
         if item in relevant:
             return 1.0 / (position + 1.0)
@@ -195,10 +217,7 @@ def map_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
     within the cutoff), so a ranking that front-loads every reachable
     relevant item scores 1.0 — the RecBole/trec convention.
     """
-    if not relevant:
-        raise ValueError("map undefined for an empty relevant set")
-    if k <= 0:
-        raise ValueError("k must be positive")
+    _check_metric_args("map", relevant, k)
     hits = 0
     precision_sum = 0.0
     for position, item in enumerate(ranked[:k]):

@@ -186,7 +186,9 @@ def _compute_shard_grads(model, params, users, pos_items, neg_items, scale):
     """
     for p in params:
         p.zero_grad()
-    loss = model.loss(users, pos_items, neg_items)
+    # `training_loss` dispatches on the model's `objective` attribute,
+    # which pickles into spawned workers with the model itself.
+    loss = model.training_loss(users, pos_items, neg_items)
     loss_value = loss.item()
     ops.mul(loss, float(scale)).backward()
     return loss_value, [_extract_grad(p) for p in params]

@@ -49,6 +49,14 @@ class TrainerConfig:
     eval_task: str = "topk"
     eval_metric: str = "recall@20"
     eval_k: int = 20
+    #: Training objective: ``"ce"`` trains with each model's native
+    #: ``loss()`` (pointwise sigmoid-CE by default, Eq. 22); ``"bpr"``
+    #: trains every model pairwise — BPR + batch-row embedding L2
+    #: (EmbLoss), the KGAT/RecBole recipe — making objective choice a
+    #: one-config comparison axis across the whole zoo.  Under ``"bpr"``
+    #: the optimizer's weight decay is disabled so λ is not applied twice
+    #: (EmbLoss carries it instead; see docs/training.md).
+    objective: str = "ce"
     #: Cap on evaluated validation users per epoch (speed).
     eval_max_users: Optional[int] = 80
     shuffle: bool = True
@@ -91,6 +99,8 @@ class TrainerConfig:
     def __post_init__(self) -> None:
         if self.eval_task not in ("topk", "ctr", "none"):
             raise ValueError(f"unknown eval task {self.eval_task!r}")
+        if self.objective not in ("ce", "bpr"):
+            raise ValueError(f"unknown training objective {self.objective!r}")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
         if self.num_workers < 0:
@@ -117,10 +127,15 @@ class Trainer:
     def __init__(self, model: Recommender, config: Optional[TrainerConfig] = None):
         self.model = model
         self.config = config or TrainerConfig()
+        # The objective travels on the model so the parallel engine's
+        # pickled workers and any direct `training_loss` caller see it.
+        model.objective = self.config.objective
+        # Under "bpr" the batch-row EmbLoss inside `pairwise_loss` carries
+        # λ; optimizer weight decay must be off or L2 is applied twice.
         self.optimizer = Adam(
             model.parameters(),
             lr=model.lr,
-            weight_decay=model.l2,
+            weight_decay=0.0 if self.config.objective == "bpr" else model.l2,
             sparse=self.config.sparse_updates,
         )
         self._neg_rng = np.random.default_rng(self.config.seed + 7919)
@@ -229,7 +244,7 @@ class Trainer:
         grad_norm_sum = 0.0
         for start in range(0, len(users), batch_size):
             batch = order[start : start + batch_size]
-            loss = model.loss(users[batch], pos_items[batch], neg_items[batch])
+            loss = model.training_loss(users[batch], pos_items[batch], neg_items[batch])
             loss_value = loss.item()
             if not np.isfinite(loss_value):
                 # Emits a structured `anomaly` event through the tracer,
@@ -492,6 +507,7 @@ class Trainer:
                 "eval_task": cfg.eval_task,
                 "eval_metric": cfg.eval_metric,
                 "eval_k": cfg.eval_k,
+                "objective": cfg.objective,
                 "lr": model.lr,
                 "l2": model.l2,
                 "batch_size": model.batch_size,

@@ -95,6 +95,39 @@ class TestNegativeSampling:
         negs = sample_training_negatives(inter, all_pos, 3, np.random.default_rng(0))
         assert len(negs) == 3  # returned (necessarily false) negatives
 
+    def test_ctr_negatives_avoid_all_splits(self, tiny_dataset):
+        # Regression: frozen CTR negatives must never collide with a
+        # positive from ANY split, not just the split being sampled.
+        all_pos = tiny_dataset.all_positive_items()
+        for split in (
+            tiny_dataset.train,
+            tiny_dataset.splits.valid,
+            tiny_dataset.test,
+        ):
+            users, items, labels = sample_ctr_negatives(
+                split, all_pos, tiny_dataset.n_items, np.random.default_rng(3)
+            )
+            for u, i, label in zip(users, items, labels):
+                if label == 0:
+                    assert int(i) not in all_pos[int(u)]
+
+    def test_ctr_drops_full_catalogue_users(self):
+        # User 0 interacted with every item: no true negative exists, so
+        # both their positive and negative halves are dropped entirely.
+        inter = InteractionGraph(
+            [(0, 0), (0, 1), (0, 2), (1, 0)], n_users=2, n_items=3
+        )
+        all_pos = {0: {0, 1, 2}, 1: {0}}
+        users, items, labels = sample_ctr_negatives(
+            inter, all_pos, 3, np.random.default_rng(0)
+        )
+        assert 0 not in users
+        assert labels.sum() == len(labels) / 2
+        for u, i, label in zip(users, items, labels):
+            if label == 0:
+                assert int(i) not in all_pos[int(u)]
+
+
 
 class TestRecDataset:
     def test_summary_statistics(self, tiny_dataset):
@@ -142,7 +175,10 @@ class TestLoaders:
         loaded_inter = load_interactions_file(str(ratings))
         loaded_kg = load_kg_file(str(kg_file))
         assert loaded_inter.to_set() == tiny_dataset.train.to_set()
-        assert loaded_kg.n_triples == tiny_dataset.kg.n_triples
+        # The loader dedups triples, so a fixture with repeated random
+        # triples round-trips to the unique set.
+        unique_triples = {tuple(t) for t in tiny_dataset.kg.triples.tolist()}
+        assert {tuple(t) for t in loaded_kg.triples.tolist()} == unique_triples
 
     def test_negatives_dropped(self, tmp_path):
         path = tmp_path / "r.txt"

@@ -198,3 +198,40 @@ class TestRoundTripStillWorks:
             save_interactions_file(path, graph)
             loaded = load_interactions_file(path)
             assert sorted(zip(loaded.users, loaded.items)) == sorted(pairs)
+
+
+class TestDuplicateLines:
+    """Repeated (user, item) pairs and KG triples collapse to one record
+    each, first occurrence winning, without weakening the error contract."""
+
+    def test_duplicate_pairs_deduped(self, tmp_path):
+        path = _write(tmp_path, "ratings.txt", "0\t1\t1\n0\t1\t1\n1\t0\t1\n0\t1\t1\n")
+        graph = load_interactions_file(path)
+        assert graph.n_interactions == 2
+        assert graph.to_set() == {(0, 1), (1, 0)}
+
+    def test_duplicate_triples_deduped(self, tmp_path):
+        path = _write(tmp_path, "kg.txt", "0 0 1\n0 0 1\n1 1 2\n0 0 1\n")
+        kg = load_kg_file(path)
+        assert kg.n_triples == 2
+        assert sorted(map(tuple, kg.triples)) == [(0, 0, 1), (1, 1, 2)]
+
+    def test_malformed_line_after_duplicates_still_located(self, tmp_path):
+        # Dedup must not re-number lines: errors report the file position.
+        path = _write(tmp_path, "kg.txt", "0 0 1\n0 0 1\n0 0\n")
+        with pytest.raises(ValueError, match=r"kg\.txt:3"):
+            load_kg_file(path)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_loaded_pairs_are_unique(self, pairs):
+        lines = "".join(f"{u}\t{i}\t1\n" for u, i in pairs)
+        with _scratch_file("dup.txt", lines) as path:
+            graph = load_interactions_file(path)
+            assert graph.n_interactions == len(set(pairs))
+            assert graph.to_set() == set(pairs)

@@ -8,6 +8,8 @@ from repro.eval import (
     auc_score,
     f1_score,
     hit_ratio_at_k,
+    map_at_k,
+    mrr_at_k,
     ndcg_at_k,
     precision_at_k,
     recall_at_k,
@@ -310,3 +312,32 @@ class TestThresholdSweep:
         probs = np.array([0.6, 0.4])
         report = threshold_sweep(labels, probs, thresholds=np.array([0.5]))
         assert report["best_threshold"] == 0.5
+
+
+class TestMetricValidationUnified:
+    """Every per-user ranking metric validates its arguments identically."""
+
+    METRICS = [
+        recall_at_k,
+        precision_at_k,
+        hit_ratio_at_k,
+        ndcg_at_k,
+        mrr_at_k,
+        map_at_k,
+    ]
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_empty_relevant_raises(self, metric):
+        with pytest.raises(ValueError, match="empty relevant"):
+            metric([1, 2, 3], set(), 2)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("k", [0, -1])
+    def test_nonpositive_k_raises(self, metric, k):
+        with pytest.raises(ValueError, match="positive k"):
+            metric([1, 2, 3], {1}, k)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_valid_args_accepted(self, metric):
+        value = metric([1, 2, 3], {2}, 3)
+        assert 0.0 <= value <= 1.0

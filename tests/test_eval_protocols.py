@@ -104,3 +104,45 @@ class TestCTRProtocol:
         a = evaluate_ctr(model, tiny_dataset.test, negative_seed=4)
         b = evaluate_ctr(model, tiny_dataset.test, negative_seed=4)
         assert a == b
+
+
+class TestFullyMaskedUsers:
+    """Users whose train ∪ valid positives cover the whole catalogue have
+    no candidate pool left and must be skipped, not averaged as garbage."""
+
+    def _dataset(self):
+        from repro.data.dataset import DatasetSplits, RecDataset
+        from repro.graph.interactions import InteractionGraph
+        from repro.graph.knowledge_graph import KnowledgeGraph
+
+        # User 0's train positives cover all 3 items; user 1 is normal.
+        train = InteractionGraph(
+            [(0, 0), (0, 1), (0, 2), (1, 0)], n_users=2, n_items=3
+        )
+        test = InteractionGraph([(0, 2), (1, 1)], n_users=2, n_items=3)
+        splits = DatasetSplits(
+            train=train,
+            valid=InteractionGraph([], n_users=2, n_items=3),
+            test=test,
+        )
+        kg = KnowledgeGraph([(0, 0, 1)], n_entities=3, n_relations=1)
+        return RecDataset(
+            name="masked", n_users=2, n_items=3, kg=kg, splits=splits
+        )
+
+    def test_fully_masked_user_skipped_and_counted(self):
+        dataset = self._dataset()
+        matrix = np.zeros((2, 3))
+        matrix[1, 1] = 10.0  # user 1 ranks their test positive first
+        model = OracleModel(dataset, matrix)
+        metrics = evaluate_topk(
+            model, dataset.test, k_values=(1,), mask_splits=[dataset.train]
+        )
+        assert metrics["n_skipped_users"] == 1.0
+        # Averages cover only the one evaluated user.
+        assert metrics["recall@1"] == 1.0
+
+    def test_no_skips_on_normal_data(self, micro_dataset):
+        model = OracleModel(micro_dataset, perfect_matrix(micro_dataset))
+        metrics = evaluate_topk(model, micro_dataset.test, k_values=(2,))
+        assert metrics["n_skipped_users"] == 0.0
