@@ -47,6 +47,7 @@ from repro.autograd.ops import (
     where,
 )
 from repro.autograd.gradcheck import gradcheck
+from repro.autograd.compile import Arena, EpochCompiler, TraceDivergence
 from repro.autograd import init, nn, optim
 
 __all__ = [
@@ -81,6 +82,9 @@ __all__ = [
     "gather_rows",
     "embedding_lookup",
     "gradcheck",
+    "Arena",
+    "EpochCompiler",
+    "TraceDivergence",
     "nn",
     "optim",
     "init",

@@ -1,0 +1,1488 @@
+"""Trace-and-replay epoch compiler: record one batch's op graph, replay it.
+
+Training runs the *same fixed op graph every batch* (CG-KGR's guided
+attention and the KGCN-family convolutions it generalizes), so most of the
+per-step Python cost — ``Tensor`` construction, tape bookkeeping, backward
+closure allocation, the topological sort and its gradient dict — is paid
+for structure that never changes.  :class:`EpochCompiler` eliminates it:
+
+* **Record** — the first batch for a given trace key runs eagerly with
+  every differentiable op patched; each call appends a :class:`_Step`
+  (op kind, input identities/shapes/dtypes, static kwargs, output tensor).
+  ``Tensor.backward`` is patched with a verbatim copy of the eager sweep
+  that additionally logs the topological order and which (node, parent)
+  contributions fired.
+* **Finalize** — every intermediate output and every gradient buffer is
+  assigned a deterministic 64-byte-aligned offset in one contiguous
+  :class:`Arena`; step outputs are rebound onto arena views, and the
+  logged backward order becomes a flat schedule.
+* **Replay** — the batch body runs again, but each op call is intercepted
+  by a wrapper that *validates* the call against the recorded step
+  (op kind and static kwargs must match; gradient-carrying inputs must be
+  the identical tensors; constant inputs only need the recorded
+  shape/dtype — their values are read fresh each batch) and executes an
+  ``out=`` kernel straight into the step's arena view, returning the
+  recorded output tensor.  No tensors, tape nodes, or closures are
+  created.  ``backward()`` sweeps the cached schedule with preallocated
+  gradient buffers, reproducing the eager accumulation order bit for bit;
+  leaf parameters still receive freshly allocated ``.grad`` arrays (the
+  parallel engine holds references to them across shards).
+
+The correctness contract is **bit-identical parameters after one epoch**
+versus the eager path at a fixed seed; ``tests/test_compile_parity.py``
+enforces it mechanically across the model zoo.
+
+Fallback rules: any mismatch raises :class:`TraceDivergence`; the
+compiler restores the model RNG state it snapshotted before the attempt
+(plus any generator state consumed by replayed dropout steps), discards
+the trace, and re-records the batch eagerly.  A key that diverges
+``max_divergences`` times is pinned to eager execution.  Shape changes
+(the last partial batch, resampled neighbor tables with a different
+layout) therefore cost one extra recording, never corruption.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ops as _ops
+from repro.autograd.tensor import Tensor, _as_array, ensure_tensor, unbroadcast
+
+__all__ = ["Arena", "EpochCompiler", "TraceDivergence"]
+
+
+class TraceDivergence(Exception):
+    """A batch no longer matches its recorded trace (replay must fall back)."""
+
+
+# ----------------------------------------------------------------------
+# Arena
+# ----------------------------------------------------------------------
+class Arena:
+    """One contiguous buffer holding every intermediate/gradient array.
+
+    Offsets are assigned sequentially at reservation time (aligned to
+    :attr:`ALIGN` bytes), so a fixed reservation sequence always yields
+    the same layout — the property the allocator tests pin down.  Views
+    are materialized once; :meth:`reset` zero-fills the backing buffer
+    without disturbing the views.
+    """
+
+    ALIGN = 64
+
+    def __init__(self) -> None:
+        self._slots: List[Tuple[int, Tuple[int, ...], np.dtype, int]] = []
+        self._nbytes = 0
+        self._buf: Optional[np.ndarray] = None
+        self._views: List[np.ndarray] = []
+
+    def reserve(self, shape: Tuple[int, ...], dtype) -> int:
+        """Reserve an aligned region; returns the slot index."""
+        if self._buf is not None:
+            raise RuntimeError("Arena already materialized")
+        dt = np.dtype(dtype)
+        offset = -self._nbytes % self.ALIGN + self._nbytes
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        self._slots.append((offset, tuple(shape), dt, nbytes))
+        self._nbytes = offset + nbytes
+        return len(self._slots) - 1
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._slots)
+
+    def offset(self, slot: int) -> int:
+        return self._slots[slot][0]
+
+    def materialize(self) -> None:
+        """Allocate the backing buffer and carve out every view."""
+        if self._buf is not None:
+            return
+        self._buf = np.zeros(max(self._nbytes, 1), dtype=np.uint8)
+        for offset, shape, dt, nbytes in self._slots:
+            region = self._buf[offset : offset + nbytes]
+            self._views.append(region.view(dt).reshape(shape))
+
+    def view(self, slot: int) -> np.ndarray:
+        if self._buf is None:
+            raise RuntimeError("Arena not materialized")
+        return self._views[slot]
+
+    def reset(self) -> None:
+        """Zero-fill the backing buffer (views stay valid)."""
+        if self._buf is not None:
+            self._buf.fill(0)
+
+
+# ----------------------------------------------------------------------
+# Trace structures
+# ----------------------------------------------------------------------
+class _Step:
+    """One recorded op call: identity anchors, signatures, kernels."""
+
+    __slots__ = ("op", "handler", "inputs", "grad_mask", "sigs", "aux_sigs",
+                 "static", "out", "slot", "saved", "extra")
+
+    def __init__(self, op, handler, inputs, grad_mask, sigs, aux_sigs, static, out):
+        self.op = op
+        self.handler = handler
+        self.inputs = inputs          # recorded Tensor per grad position, else None
+        self.grad_mask = grad_mask    # bool per canonical input position
+        self.sigs = sigs              # (shape, dtype) per input position
+        self.aux_sigs = aux_sigs      # (shape,) per aux position, or None
+        self.static = static          # hashable op-specific configuration
+        self.out = out                # output Tensor (rebound onto the arena)
+        self.slot = None              # arena slot of the output buffer
+        self.saved = None             # per-replay values the backward needs
+        self.extra = None             # record-time derived data (einsum adjoints)
+
+
+class _LeafEvent:
+    __slots__ = ("tensor", "slot")
+
+    def __init__(self, tensor, slot):
+        self.tensor = tensor
+        self.slot = slot
+
+
+class _StepEvent:
+    __slots__ = ("step", "slot", "targets")
+
+    def __init__(self, step, slot, targets):
+        self.step = step
+        self.slot = slot
+        # targets: (input position, parent tensor, parent grad slot,
+        #           parent-is-parentless-leaf) per grad-receiving parent.
+        self.targets = targets
+
+
+class _Handler:
+    """Spec/forward/backward triple for one primitive op."""
+
+    __slots__ = ("name", "spec", "fwd", "bwd", "aux_check")
+
+    def __init__(self, name, spec, fwd, bwd):
+        self.name = name
+        self.spec = spec
+        self.fwd = fwd
+        self.bwd = bwd
+        self.aux_check = None  # None: shape-check every aux input
+
+
+_HANDLERS: Dict[str, _Handler] = {}
+
+
+def _handler(name):
+    def register(builder):
+        spec, fwd, bwd = builder()
+        _HANDLERS[name] = _Handler(name, spec, fwd, bwd)
+        return builder
+
+    return register
+
+
+def _no_aux(vals, static):
+    return vals, (), static
+
+
+# ----------------------------------------------------------------------
+# Elementwise binary handlers
+# ----------------------------------------------------------------------
+def _binary_spec(args, kwargs):
+    a, b = args
+    return (a, b), (), ()
+
+
+@_handler("add")
+def _h_add():
+    def fwd(step, v, aux):
+        np.add(v[0], v[1], out=step.out.data)
+
+    def bwd(step, g, pos):
+        return unbroadcast(g, step.sigs[pos][0])
+
+    return _binary_spec, fwd, bwd
+
+
+@_handler("sub")
+def _h_sub():
+    def fwd(step, v, aux):
+        np.subtract(v[0], v[1], out=step.out.data)
+
+    def bwd(step, g, pos):
+        if pos == 0:
+            return unbroadcast(g, step.sigs[0][0])
+        return unbroadcast(-g, step.sigs[1][0])
+
+    return _binary_spec, fwd, bwd
+
+
+@_handler("mul")
+def _h_mul():
+    def fwd(step, v, aux):
+        step.saved = v
+        np.multiply(v[0], v[1], out=step.out.data)
+
+    def bwd(step, g, pos):
+        other = step.saved[1 - pos]
+        return unbroadcast(g * other, step.sigs[pos][0])
+
+    return _binary_spec, fwd, bwd
+
+
+@_handler("div")
+def _h_div():
+    def fwd(step, v, aux):
+        step.saved = v
+        np.divide(v[0], v[1], out=step.out.data)
+
+    def bwd(step, g, pos):
+        ad, bd = step.saved
+        if pos == 0:
+            return unbroadcast(g / bd, step.sigs[0][0])
+        return unbroadcast(-g * ad / (bd * bd), step.sigs[1][0])
+
+    return _binary_spec, fwd, bwd
+
+
+@_handler("maximum")
+def _h_maximum():
+    def fwd(step, v, aux):
+        take_a = v[0] >= v[1]
+        step.saved = take_a
+        np.copyto(step.out.data, np.where(take_a, v[0], v[1]))
+
+    def bwd(step, g, pos):
+        m = step.saved if pos == 0 else ~step.saved
+        return unbroadcast(g * m, step.sigs[pos][0])
+
+    return _binary_spec, fwd, bwd
+
+
+@_handler("where")
+def _h_where():
+    def spec(args, kwargs):
+        condition, a, b = args
+        return (a, b), (condition,), ()
+
+    def fwd(step, v, aux):
+        cond = np.asarray(aux[0], dtype=bool)
+        step.saved = cond
+        np.copyto(step.out.data, np.where(cond, v[0], v[1]))
+
+    def bwd(step, g, pos):
+        c = step.saved if pos == 0 else ~step.saved
+        return unbroadcast(g * c, step.sigs[pos][0])
+
+    return spec, fwd, bwd
+
+
+def _unary_spec(args, kwargs):
+    return (args[0],), (), ()
+
+
+@_handler("neg")
+def _h_neg():
+    def fwd(step, v, aux):
+        np.negative(v[0], out=step.out.data)
+
+    def bwd(step, g, pos):
+        return -g
+
+    return _unary_spec, fwd, bwd
+
+
+@_handler("power")
+def _h_power():
+    def spec(args, kwargs):
+        a = args[0]
+        exponent = args[1] if len(args) > 1 else kwargs["exponent"]
+        return (a,), (), (float(exponent),)
+
+    def fwd(step, v, aux):
+        step.saved = v[0]
+        np.power(v[0], step.static[0], out=step.out.data)
+
+    def bwd(step, g, pos):
+        p = step.static[0]
+        return g * p * step.saved ** (p - 1.0)
+
+    return spec, fwd, bwd
+
+
+# ----------------------------------------------------------------------
+# Elementwise unary handlers
+# ----------------------------------------------------------------------
+@_handler("exp")
+def _h_exp():
+    def fwd(step, v, aux):
+        np.exp(v[0], out=step.out.data)
+
+    def bwd(step, g, pos):
+        return g * step.out.data
+
+    return _unary_spec, fwd, bwd
+
+
+@_handler("log")
+def _h_log():
+    def fwd(step, v, aux):
+        step.saved = v[0]
+        np.log(v[0], out=step.out.data)
+
+    def bwd(step, g, pos):
+        return g / step.saved
+
+    return _unary_spec, fwd, bwd
+
+
+@_handler("sqrt")
+def _h_sqrt():
+    def fwd(step, v, aux):
+        np.sqrt(v[0], out=step.out.data)
+
+    def bwd(step, g, pos):
+        return g / (2.0 * step.out.data)
+
+    return _unary_spec, fwd, bwd
+
+
+@_handler("tanh")
+def _h_tanh():
+    def fwd(step, v, aux):
+        np.tanh(v[0], out=step.out.data)
+
+    def bwd(step, g, pos):
+        o = step.out.data
+        return g * (1.0 - o * o)
+
+    return _unary_spec, fwd, bwd
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.abs(x))),
+        np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))),
+    )
+
+
+@_handler("sigmoid")
+def _h_sigmoid():
+    def fwd(step, v, aux):
+        np.copyto(step.out.data, _stable_sigmoid(v[0]))
+
+    def bwd(step, g, pos):
+        o = step.out.data
+        return g * o * (1.0 - o)
+
+    return _unary_spec, fwd, bwd
+
+
+@_handler("log_sigmoid")
+def _h_log_sigmoid():
+    def fwd(step, v, aux):
+        x = v[0]
+        np.copyto(
+            step.out.data, -(np.maximum(-x, 0.0) + np.log1p(np.exp(-np.abs(x))))
+        )
+        step.saved = _stable_sigmoid(x)
+
+    def bwd(step, g, pos):
+        return g * (1.0 - step.saved)
+
+    return _unary_spec, fwd, bwd
+
+
+@_handler("softplus")
+def _h_softplus():
+    def fwd(step, v, aux):
+        x = v[0]
+        np.copyto(step.out.data, np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x))))
+        step.saved = _stable_sigmoid(x)
+
+    def bwd(step, g, pos):
+        return g * step.saved
+
+    return _unary_spec, fwd, bwd
+
+
+@_handler("relu")
+def _h_relu():
+    def fwd(step, v, aux):
+        mask = v[0] > 0
+        step.saved = mask
+        np.multiply(v[0], mask, out=step.out.data)
+
+    def bwd(step, g, pos):
+        return g * step.saved
+
+    return _unary_spec, fwd, bwd
+
+
+@_handler("leaky_relu")
+def _h_leaky_relu():
+    def spec(args, kwargs):
+        a = args[0]
+        slope = args[1] if len(args) > 1 else kwargs.get("negative_slope", 0.2)
+        return (a,), (), (float(slope),)
+
+    def fwd(step, v, aux):
+        mask = v[0] > 0
+        scale = np.where(mask, 1.0, step.static[0])
+        step.saved = scale
+        np.multiply(v[0], scale, out=step.out.data)
+
+    def bwd(step, g, pos):
+        return g * step.saved
+
+    return spec, fwd, bwd
+
+
+@_handler("dropout")
+def _h_dropout():
+    def spec(args, kwargs):
+        a = args[0]
+        rate = args[1] if len(args) > 1 else kwargs["rate"]
+        rng = args[2] if len(args) > 2 else kwargs["rng"]
+        training = args[3] if len(args) > 3 else kwargs.get("training", True)
+        return (a,), (rng,), (float(rate), bool(training))
+
+    def fwd(step, v, aux):
+        rng = aux[0]
+        keep = 1.0 - step.static[0]
+        mask = (rng.random(v[0].shape) < keep) / keep
+        step.saved = mask
+        np.multiply(v[0], mask, out=step.out.data)
+
+    def bwd(step, g, pos):
+        return g * step.saved
+
+    return spec, fwd, bwd
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _reduction_spec(args, kwargs):
+    a = args[0]
+    axis = args[1] if len(args) > 1 else kwargs.get("axis")
+    keepdims = args[2] if len(args) > 2 else kwargs.get("keepdims", False)
+    arr = a.data if isinstance(a, Tensor) else _as_array(a)
+    axes = _ops._normalize_axis(axis, arr.ndim)
+    return (a,), (), (axes, bool(keepdims))
+
+
+@_handler("sum")
+def _h_sum():
+    def fwd(step, v, aux):
+        axes, keepdims = step.static
+        np.sum(v[0], axis=axes, keepdims=keepdims, out=step.out.data)
+
+    def bwd(step, g, pos):
+        axes, keepdims = step.static
+        shape = step.sigs[0][0]
+        if axes is None:
+            return np.broadcast_to(g, shape)
+        if not keepdims:
+            g = np.expand_dims(g, axes)
+        return np.broadcast_to(g, shape)
+
+    return _reduction_spec, fwd, bwd
+
+
+@_handler("mean")
+def _h_mean():
+    def spec(args, kwargs):
+        (a,), aux, (axes, keepdims) = _reduction_spec(args, kwargs)
+        arr = a.data if isinstance(a, Tensor) else _as_array(a)
+        if axes is None:
+            count = arr.size
+        else:
+            count = int(np.prod([arr.shape[ax] for ax in axes]))
+        return (a,), aux, (axes, keepdims, count)
+
+    def fwd(step, v, aux):
+        axes, keepdims, _ = step.static
+        np.mean(v[0], axis=axes, keepdims=keepdims, out=step.out.data)
+
+    def bwd(step, g, pos):
+        axes, keepdims, count = step.static
+        shape = step.sigs[0][0]
+        if axes is None:
+            return np.broadcast_to(g / count, shape)
+        if not keepdims:
+            g = np.expand_dims(g, axes)
+        return np.broadcast_to(g / count, shape)
+
+    return spec, fwd, bwd
+
+
+@_handler("max")
+def _h_max():
+    def fwd(step, v, aux):
+        axes, keepdims = step.static
+        expanded = v[0].max(axis=axes, keepdims=True)
+        mask = v[0] == expanded
+        counts = mask.sum(axis=axes, keepdims=True)
+        step.saved = (mask, counts)
+        np.copyto(step.out.data, v[0].max(axis=axes, keepdims=keepdims))
+
+    def bwd(step, g, pos):
+        axes, keepdims = step.static
+        mask, counts = step.saved
+        if axes is not None and not keepdims:
+            g = np.expand_dims(g, axes)
+        elif axes is None:
+            g = np.asarray(g).reshape((1,) * mask.ndim)
+        return mask * (g / counts)
+
+    return _reduction_spec, fwd, bwd
+
+
+@_handler("logsumexp")
+def _h_logsumexp():
+    def spec(args, kwargs):
+        a = args[0]
+        axis = args[1] if len(args) > 1 else kwargs.get("axis", -1)
+        keepdims = args[2] if len(args) > 2 else kwargs.get("keepdims", False)
+        arr = a.data if isinstance(a, Tensor) else _as_array(a)
+        return (a,), (), (axis % arr.ndim, bool(keepdims))
+
+    def fwd(step, v, aux):
+        ax, keepdims = step.static
+        shift = v[0].max(axis=ax, keepdims=True)
+        expd = np.exp(v[0] - shift)
+        total = expd.sum(axis=ax, keepdims=True)
+        out = np.log(total) + shift
+        step.saved = expd / total
+        if not keepdims:
+            out = out.squeeze(axis=ax)
+        np.copyto(step.out.data, out)
+
+    def bwd(step, g, pos):
+        ax, keepdims = step.static
+        if not keepdims:
+            g = np.expand_dims(g, ax)
+        return g * step.saved
+
+    return spec, fwd, bwd
+
+
+@_handler("softmax")
+def _h_softmax():
+    def spec(args, kwargs):
+        a = args[0]
+        axis = args[1] if len(args) > 1 else kwargs.get("axis", -1)
+        arr = a.data if isinstance(a, Tensor) else _as_array(a)
+        return (a,), (), (axis % arr.ndim if arr.ndim else 0,)
+
+    def fwd(step, v, aux):
+        ax = step.static[0]
+        shift = v[0] - v[0].max(axis=ax, keepdims=True)
+        np.exp(shift, out=shift)
+        np.divide(shift, shift.sum(axis=ax, keepdims=True), out=step.out.data)
+
+    def bwd(step, g, pos):
+        ax = step.static[0]
+        o = step.out.data
+        inner = (g * o).sum(axis=ax, keepdims=True)
+        return o * (g - inner)
+
+    return spec, fwd, bwd
+
+
+@_handler("masked_softmax")
+def _h_masked_softmax():
+    def spec(args, kwargs):
+        a = args[0]
+        mask = args[1] if len(args) > 1 else kwargs["mask"]
+        axis = args[2] if len(args) > 2 else kwargs.get("axis", -1)
+        arr = a.data if isinstance(a, Tensor) else _as_array(a)
+        return (a,), (mask,), (axis % arr.ndim,)
+
+    def fwd(step, v, aux):
+        ax = step.static[0]
+        m = np.asarray(aux[0], dtype=bool)
+        neg = np.where(m, v[0], -np.inf)
+        shift_vals = neg.max(axis=ax, keepdims=True)
+        shift_vals = np.where(np.isfinite(shift_vals), shift_vals, 0.0)
+        np.subtract(neg, shift_vals, out=neg)
+        expd = np.exp(neg, out=neg)
+        total = expd.sum(axis=ax, keepdims=True)
+        safe_total = np.where(total > 0, total, 1.0)
+        np.divide(expd, safe_total, out=step.out.data)
+
+    def bwd(step, g, pos):
+        ax = step.static[0]
+        o = step.out.data
+        inner = (g * o).sum(axis=ax, keepdims=True)
+        return o * (g - inner)
+
+    return spec, fwd, bwd
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+@_handler("matmul")
+def _h_matmul():
+    def fwd(step, v, aux):
+        step.saved = v
+        if v[0].ndim >= 2 and v[1].ndim >= 2:
+            np.matmul(v[0], v[1], out=step.out.data)
+        else:
+            np.copyto(step.out.data, v[0] @ v[1])
+
+    def bwd(step, g, pos):
+        ad, bd = step.saved
+        if pos == 0:
+            if bd.ndim == 1:
+                grad = np.expand_dims(g, -1) * bd
+            elif ad.ndim == 1:
+                grad = (np.expand_dims(g, -2) @ np.swapaxes(bd, -1, -2)).squeeze(-2)
+            else:
+                grad = g @ np.swapaxes(bd, -1, -2)
+            return unbroadcast(grad, step.sigs[0][0])
+        if ad.ndim == 1:
+            grad = np.expand_dims(ad, -1) * np.expand_dims(g, -2)
+        elif bd.ndim == 1:
+            grad = (np.swapaxes(ad, -1, -2) @ np.expand_dims(g, -1)).squeeze(-1)
+        else:
+            grad = np.swapaxes(ad, -1, -2) @ g
+        return unbroadcast(grad, step.sigs[1][0])
+
+    return _binary_spec, fwd, bwd
+
+
+@_handler("einsum")
+def _h_einsum():
+    def spec(args, kwargs):
+        subscripts = args[0]
+        return tuple(args[1:]), (), (subscripts,)
+
+    def fwd(step, v, aux):
+        step.saved = v
+        np.copyto(step.out.data, _ops._fast_einsum(step.static[0], *v))
+
+    def bwd(step, g, pos):
+        expr = step.extra[pos]
+        others = [d for j, d in enumerate(step.saved) if j != pos]
+        return _ops._fast_einsum(expr, g, *others)
+
+    return spec, fwd, bwd
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+@_handler("reshape")
+def _h_reshape():
+    def spec(args, kwargs):
+        a = args[0]
+        shape = args[1] if len(args) > 1 else kwargs["shape"]
+        return (a,), (), (tuple(shape),)
+
+    def fwd(step, v, aux):
+        np.copyto(step.out.data, v[0].reshape(step.static[0]))
+
+    def bwd(step, g, pos):
+        return g.reshape(step.sigs[0][0])
+
+    return spec, fwd, bwd
+
+
+@_handler("transpose")
+def _h_transpose():
+    def spec(args, kwargs):
+        a = args[0]
+        axes = args[1] if len(args) > 1 else kwargs.get("axes")
+        if axes is not None:
+            axes = tuple(axes)
+            inverse = tuple(int(i) for i in np.argsort(axes))
+        else:
+            inverse = None
+        return (a,), (), (axes, inverse)
+
+    def fwd(step, v, aux):
+        np.copyto(step.out.data, v[0].transpose(step.static[0]))
+
+    def bwd(step, g, pos):
+        return g.transpose(step.static[1])
+
+    return spec, fwd, bwd
+
+
+@_handler("concat")
+def _h_concat():
+    def spec(args, kwargs):
+        tensors = args[0]
+        axis = args[1] if len(args) > 1 else kwargs.get("axis", 0)
+        vals = tuple(tensors)
+        sizes = []
+        for t in vals:
+            arr = t.data if isinstance(t, Tensor) else _as_array(t)
+            sizes.append(arr.shape[axis])
+        offsets = tuple(int(x) for x in np.cumsum([0] + sizes))
+        return vals, (), (axis, offsets)
+
+    def fwd(step, v, aux):
+        np.concatenate(v, axis=step.static[0], out=step.out.data)
+
+    def bwd(step, g, pos):
+        axis, offsets = step.static
+        slicer = [slice(None)] * g.ndim
+        slicer[axis] = slice(offsets[pos], offsets[pos + 1])
+        return g[tuple(slicer)]
+
+    return spec, fwd, bwd
+
+
+@_handler("stack")
+def _h_stack():
+    def spec(args, kwargs):
+        tensors = args[0]
+        axis = args[1] if len(args) > 1 else kwargs.get("axis", 0)
+        return tuple(tensors), (), (axis,)
+
+    def fwd(step, v, aux):
+        np.copyto(step.out.data, np.stack(v, axis=step.static[0]))
+
+    def bwd(step, g, pos):
+        return np.take(g, pos, axis=step.static[0])
+
+    return spec, fwd, bwd
+
+
+# ----------------------------------------------------------------------
+# Gather / scatter
+# ----------------------------------------------------------------------
+@_handler("index_select")
+def _h_index_select():
+    def spec(args, kwargs):
+        a = args[0]
+        index = args[1] if len(args) > 1 else kwargs["index"]
+        return (a,), (index,), ()
+
+    def fwd(step, v, aux):
+        idx = aux[0]
+        picked = v[0][idx]
+        if picked.shape != step.out.shape:
+            raise TraceDivergence(
+                f"index_select output shape {picked.shape} != recorded "
+                f"{step.out.shape}"
+            )
+        step.saved = idx
+        np.copyto(step.out.data, picked)
+
+    def bwd(step, g, pos):
+        return _ops._scatter_index(step.sigs[0][0], step.saved, g)
+
+    return spec, fwd, bwd
+
+
+@_handler("gather_rows")
+def _h_gather_rows():
+    def spec(args, kwargs):
+        table = args[0]
+        indices = args[1] if len(args) > 1 else kwargs["indices"]
+        return (table,), (indices,), ()
+
+    def fwd(step, v, aux):
+        idx = np.asarray(aux[0])
+        if idx.dtype.kind not in "iu":
+            raise TypeError("gather_rows indices must be integers")
+        table = step.inputs[0]
+        if table is not None and table._refresh_hook is not None:
+            table._refresh_hook(idx)
+        step.saved = idx
+        np.take(v[0], idx, axis=0, out=step.out.data)
+
+    def bwd(step, g, pos):
+        table = step.inputs[0]
+        idx = step.saved
+        if table._sparse_touched is not None:
+            table._sparse_touched.append(idx)
+        return _ops._scatter_rows(step.sigs[0][0], idx, g)
+
+    return spec, fwd, bwd
+
+
+@_handler("scatter_rows")
+def _h_scatter_rows():
+    def spec(args, kwargs):
+        values = args[0]
+        indices = args[1] if len(args) > 1 else kwargs["indices"]
+        n_rows = args[2] if len(args) > 2 else kwargs["n_rows"]
+        return (values,), (indices,), (int(n_rows),)
+
+    def fwd(step, v, aux):
+        idx = np.asarray(aux[0])
+        if idx.dtype.kind not in "iu":
+            raise TypeError("scatter_rows indices must be integers")
+        if idx.ndim != 1 or v[0].ndim != 2 or len(idx) != len(v[0]):
+            raise ValueError("scatter_rows expects (E, d) values and (E,) indices")
+        step.saved = idx
+        out = step.out.data
+        out.fill(0.0)
+        np.add.at(out, idx, v[0])
+
+    def bwd(step, g, pos):
+        return g[step.saved]
+
+    return spec, fwd, bwd
+
+
+# Aux inputs that must not be shape-validated: dropout's generator, and
+# index_select's arbitrary index expression (validated by output shape).
+_HANDLERS["dropout"].aux_check = (False,)
+_HANDLERS["index_select"].aux_check = (False,)
+
+
+# ----------------------------------------------------------------------
+# Generic fallback for fused ops (attention kernels built on Tensor._make)
+# ----------------------------------------------------------------------
+def _generic_bwd(step, g, pos):
+    return step.saved[pos](g)
+
+
+_GENERIC_HANDLER = _Handler("generic", None, None, _generic_bwd)
+
+#: Differentiable ops living outside autograd.ops, replayed generically:
+#: the original function runs eagerly (its allocations are per-op, not
+#: per-graph) and the fresh tensor's data/closures are adopted onto the
+#: recorded output so identity stays stable for downstream steps.
+_EXTRA_OPS = (
+    ("repro.core.attention", "_guided_relation_scores", "relation_scores"),
+    ("repro.core.attention", "_collab_scores", "collab_scores"),
+)
+
+#: Composites expressed in primitives; patching them would double-record.
+_COMPOSITES = frozenset({"l2_norm_squared", "bpr_loss", "emb_loss"})
+
+_ALIASES = {"embedding_lookup": "gather_rows"}
+
+
+def _op_attrs() -> Tuple[str, ...]:
+    import inspect
+
+    names = []
+    for attr, value in vars(_ops).items():
+        if attr.startswith("_") or not inspect.isfunction(value):
+            continue
+        if value.__module__ != _ops.__name__ or attr in _COMPOSITES:
+            continue
+        names.append(attr)
+    return tuple(names)
+
+
+_OP_ATTRS = _op_attrs()
+
+
+def _active_profiler():
+    import sys
+
+    mod = sys.modules.get("repro.obs.profiler")
+    return mod.active_profiler() if mod is not None else None
+
+
+def _active_memory_tracker():
+    import sys
+
+    mod = sys.modules.get("repro.obs.memory")
+    return mod.active_tracker() if mod is not None else None
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+class _Recorder:
+    __slots__ = ("steps", "step_by_out", "backward", "failed")
+
+    def __init__(self) -> None:
+        self.steps: List[_Step] = []
+        self.step_by_out: Dict[int, _Step] = {}
+        self.backward = None  # (loss tensor, raw event log)
+        self.failed: Optional[str] = None
+
+    def add(self, name: str, handler: _Handler, args, kwargs, out: Tensor) -> None:
+        vals, aux, static = handler.spec(args, kwargs)
+        if any(v is out for v in vals):
+            return  # identity passthrough (dropout at zero rate)
+        tracked = bool(out._parents)
+        if tracked and len(out._parents) != len(vals):
+            raise RuntimeError(f"{name}: spec/parents arity mismatch")
+        grad_mask, inputs, sigs = [], [], []
+        for v in vals:
+            keep = tracked and isinstance(v, Tensor) and v.requires_grad
+            grad_mask.append(keep)
+            inputs.append(v if keep else None)
+            arr = v.data if isinstance(v, Tensor) else _as_array(v)
+            sigs.append((arr.shape, arr.dtype))
+        aux_check = handler.aux_check
+        aux_sigs = tuple(
+            np.shape(a) if (aux_check is None or aux_check[j]) else None
+            for j, a in enumerate(aux)
+        )
+        step = _Step(
+            name, handler, tuple(inputs), tuple(grad_mask), tuple(sigs),
+            aux_sigs, static, out,
+        )
+        if name == "einsum":
+            operand_subs, out_subs = _ops._parse_einsum_subscripts(
+                static[0], len(vals)
+            )
+            exprs = []
+            for i, subs_i in enumerate(operand_subs):
+                other = [s for j, s in enumerate(operand_subs) if j != i]
+                exprs.append(",".join([out_subs] + other) + "->" + subs_i)
+            step.extra = tuple(exprs)
+        self.steps.append(step)
+        self.step_by_out[id(out)] = step
+
+    def add_generic(self, label: str, args, kwargs, out: Tensor) -> None:
+        if kwargs or not isinstance(out, Tensor) or not out._parents:
+            self.failed = f"{label}: unsupported call shape"
+            return
+        arg_spec = []
+        for a in args:
+            if isinstance(a, Tensor):
+                if a.requires_grad:
+                    arg_spec.append(("tg", a))
+                else:
+                    arg_spec.append(("ts", a.data.shape, a.data.dtype))
+            elif isinstance(a, np.ndarray):
+                arg_spec.append(("as", a.shape))
+            elif a is None:
+                arg_spec.append(("none",))
+            else:
+                arg_spec.append(("eq", a))
+        parents = out._parents
+        step = _Step(
+            label, _GENERIC_HANDLER, parents,
+            tuple(p.requires_grad for p in parents),
+            tuple((p.data.shape, p.data.dtype) for p in parents),
+            (), (), out,
+        )
+        step.extra = tuple(arg_spec)
+        self.steps.append(step)
+        self.step_by_out[id(out)] = step
+
+
+def _make_recording(rec: _Recorder, name: str, orig: Callable, handler: _Handler):
+    def recording(*args, **kwargs):
+        out = orig(*args, **kwargs)
+        if rec.failed is None:
+            try:
+                rec.add(name, handler, args, kwargs, out)
+            except Exception as exc:  # never break eager semantics
+                rec.failed = f"{name}: {exc!r}"
+        return out
+
+    return recording
+
+
+def _make_recording_generic(rec: _Recorder, label: str, orig: Callable):
+    def recording(*args, **kwargs):
+        out = orig(*args, **kwargs)
+        if rec.failed is None:
+            try:
+                rec.add_generic(label, args, kwargs, out)
+            except Exception as exc:
+                rec.failed = f"{label}: {exc!r}"
+        return out
+
+    return recording
+
+
+def _make_unsupported(rec: _Recorder, name: str, orig: Callable):
+    def recording(*args, **kwargs):
+        rec.failed = f"unsupported op {name}"
+        return orig(*args, **kwargs)
+
+    return recording
+
+
+def _make_recording_backward(rec: _Recorder, orig_backward: Callable):
+    def recording_backward(tensor, grad=None):
+        if rec.failed is not None or rec.backward is not None or grad is not None:
+            if rec.failed is None:
+                rec.failed = "unsupported backward call"
+            return orig_backward(tensor, grad)
+        prof = _active_profiler()
+        t0 = time.perf_counter()
+        # Verbatim copy of Tensor.backward's scalar-seed sweep, logging the
+        # topological processing order plus every (node, parent) gradient
+        # contribution — this exact order is what replay reproduces.
+        if not tensor.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if tensor.size != 1:
+            rec.failed = "non-scalar backward"
+            return orig_backward(tensor, grad)
+        seed = np.ones_like(tensor.data)
+        order = tensor._topological_order()
+        events: List[tuple] = []
+        grads = {id(tensor): seed}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and not node._parents:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+                events.append(("leaf", node))
+                continue
+            targets = []
+            for j, (parent, fn) in enumerate(zip(node._parents, node._backward_fns)):
+                if fn is None or not parent.requires_grad:
+                    continue
+                contribution = fn(node_grad)
+                if (
+                    parent._sparse_touched is not None
+                    and not parent._parents
+                    and node._op != "gather_rows"
+                ):
+                    parent._saw_dense_grad = True
+                targets.append((j, parent))
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + contribution
+                else:
+                    grads[key] = contribution
+            events.append(("step", node, targets))
+        rec.backward = (tensor, events)
+        if prof is not None:
+            prof.record_backward_walk(time.perf_counter() - t0)
+        return None
+
+    return recording_backward
+
+
+# ----------------------------------------------------------------------
+# Patch management
+# ----------------------------------------------------------------------
+class _PatchSet:
+    """Installed wrappers over ops/attention/Tensor.backward; LIFO restore."""
+
+    def __init__(self) -> None:
+        self._saved: List[tuple] = []
+        self._saved_backward: Optional[Callable] = None
+
+    def targets(self) -> List[tuple]:
+        """(owner, attr, label, original, kind) for every patchable op."""
+        out = []
+        for attr in _OP_ATTRS:
+            label = _ALIASES.get(attr, attr)
+            out.append((_ops, attr, label, getattr(_ops, attr), "op"))
+        for module_name, attr, label in _EXTRA_OPS:
+            module = importlib.import_module(module_name)
+            out.append((module, attr, label, getattr(module, attr), "generic"))
+        return out
+
+    def install(self, owner, attr, original, wrapper) -> None:
+        self._saved.append((owner, attr, original))
+        setattr(owner, attr, wrapper)
+
+    def install_backward(self, wrapper) -> None:
+        self._saved_backward = Tensor.backward
+        Tensor.backward = wrapper
+
+    def restore(self) -> None:
+        for owner, attr, original in reversed(self._saved):
+            setattr(owner, attr, original)
+        self._saved.clear()
+        if self._saved_backward is not None:
+            Tensor.backward = self._saved_backward
+            self._saved_backward = None
+
+
+def _install_record(rec: _Recorder) -> _PatchSet:
+    patches = _PatchSet()
+    for owner, attr, label, orig, kind in patches.targets():
+        if kind == "generic":
+            wrapper = _make_recording_generic(rec, label, orig)
+        else:
+            handler = _HANDLERS.get(label)
+            if handler is None:
+                wrapper = _make_unsupported(rec, label, orig)
+            else:
+                wrapper = _make_recording(rec, label, orig, handler)
+        patches.install(owner, attr, orig, wrapper)
+    patches.install_backward(_make_recording_backward(rec, Tensor.backward))
+    return patches
+
+
+# ----------------------------------------------------------------------
+# Finalizing a recording into a trace
+# ----------------------------------------------------------------------
+def _finalize(rec: _Recorder, key) -> Optional["_Trace"]:
+    if rec.failed is not None or rec.backward is None:
+        return None
+    loss, raw_events = rec.backward
+    loss_step = rec.step_by_out.get(id(loss))
+    if loss_step is None:
+        return None
+    arena = Arena()
+    for step in rec.steps:
+        if step.handler is _GENERIC_HANDLER:
+            step.slot = None  # data adopted from the eager fused kernel
+        else:
+            step.slot = arena.reserve(step.out.data.shape, step.out.data.dtype)
+    # One gradient buffer per event, indexed by topological position; a
+    # parent's buffer always sits later in the sweep than its consumers.
+    slot_by_node: Dict[int, int] = {}
+    for k, ev in enumerate(raw_events):
+        slot_by_node[id(ev[1])] = k
+    gslots = [arena.reserve(ev[1].data.shape, ev[1].data.dtype) for ev in raw_events]
+    events: List[object] = []
+    for ev in raw_events:
+        node = ev[1]
+        if ev[0] == "leaf":
+            events.append(_LeafEvent(node, slot_by_node[id(node)]))
+            continue
+        step = rec.step_by_out.get(id(node))
+        if step is None:
+            return None  # tracked tensor produced by an unpatched path
+        targets = []
+        for (pos, parent) in ev[2]:
+            pslot = slot_by_node.get(id(parent))
+            if pslot is None:
+                return None
+            targets.append((pos, parent, pslot, not parent._parents))
+        events.append(_StepEvent(step, slot_by_node[id(node)], targets))
+    if not events or not isinstance(events[0], _StepEvent) or events[0].step is not loss_step:
+        return None
+    arena.materialize()
+    for step in rec.steps:
+        if step.slot is not None:
+            view = arena.view(step.slot)
+            np.copyto(view, step.out.data)
+            step.out.data = view
+        # Sever the recorded tape: replay never walks parent links, and
+        # keeping them would pin every constant leaf of the recorded batch.
+        step.out._parents = ()
+        step.out._backward_fns = ()
+    gbufs = [arena.view(s) for s in gslots]
+    tracker = _active_memory_tracker()
+    if tracker is not None:
+        tracker.register_persistent([s.out for s in rec.steps])
+    return _Trace(key, rec.steps, events, gbufs, loss, arena)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+class _Trace:
+    __slots__ = (
+        "key", "steps", "events", "gbufs", "loss", "arena",
+        "cursor", "bwd_ran", "rng_log", "prof", "fwd_attr", "bwd_wall",
+    )
+
+    def __init__(self, key, steps, events, gbufs, loss, arena) -> None:
+        self.key = key
+        self.steps = steps
+        self.events = events
+        self.gbufs = gbufs
+        self.loss = loss
+        self.arena = arena
+        self.cursor = 0
+        self.bwd_ran = False
+        self.rng_log: List[tuple] = []
+        self.prof = None
+        self.fwd_attr = 0.0
+        self.bwd_wall = 0.0
+
+    def next(self, name: str) -> _Step:
+        i = self.cursor
+        if i >= len(self.steps):
+            raise TraceDivergence(f"{name}: more ops than the recorded trace")
+        step = self.steps[i]
+        if step.op != name:
+            raise TraceDivergence(f"op #{i} is {name}, trace recorded {step.op}")
+        self.cursor = i + 1
+        return step
+
+    def replay(self, unit: Callable[[], object], prof) -> object:
+        self.cursor = 0
+        self.bwd_ran = False
+        self.rng_log = []
+        self.prof = prof
+        self.fwd_attr = 0.0
+        self.bwd_wall = 0.0
+        patches = _install_replay(self)
+        try:
+            result = unit()
+        finally:
+            patches.restore()
+        if self.cursor != len(self.steps) or not self.bwd_ran:
+            raise TraceDivergence("unit did not consume the full trace")
+        return result
+
+    def run_backward(self) -> None:
+        gbufs = self.gbufs
+        has = [False] * len(gbufs)
+        gbufs[0].fill(1.0)  # seed np.ones_like(loss) for the scalar loss
+        has[0] = True
+        prof = self.prof
+        for k, ev in enumerate(self.events):
+            if not has[k]:
+                continue
+            g = gbufs[k]
+            if ev.__class__ is _LeafEvent:
+                t = ev.tensor
+                t.grad = g.copy() if t.grad is None else t.grad + g
+                continue
+            step = ev.step
+            bwd = step.handler.bwd
+            time_it = prof is not None and step.slot is not None
+            is_gather = step.op == "gather_rows"
+            for (pos, parent, pslot, watchable) in ev.targets:
+                if time_it:
+                    t0 = time.perf_counter()
+                    c = bwd(step, g, pos)
+                    prof.record_backward_call(step.op, time.perf_counter() - t0)
+                else:
+                    c = bwd(step, g, pos)
+                if watchable and not is_gather and parent._sparse_touched is not None:
+                    parent._saw_dense_grad = True
+                if has[pslot]:
+                    np.add(gbufs[pslot], c, out=gbufs[pslot])
+                else:
+                    np.copyto(gbufs[pslot], c)
+                    has[pslot] = True
+
+
+def _make_replaying(rt: _Trace, name: str, handler: _Handler):
+    def replaying(*args, **kwargs):
+        step = rt.next(name)
+        vals, aux, static = handler.spec(args, kwargs)
+        if len(vals) != len(step.grad_mask) or static != step.static:
+            raise TraceDivergence(f"{name}: call signature changed")
+        cvals = []
+        for i, v in enumerate(vals):
+            if step.grad_mask[i]:
+                if v is not step.inputs[i]:
+                    raise TraceDivergence(f"{name}: input {i} identity changed")
+                cvals.append(v.data)
+            else:
+                arr = v.data if isinstance(v, Tensor) else _as_array(v)
+                sig = step.sigs[i]
+                if arr.shape != sig[0] or arr.dtype != sig[1]:
+                    raise TraceDivergence(f"{name}: input {i} signature changed")
+                cvals.append(arr)
+        for j, a in enumerate(aux):
+            sig = step.aux_sigs[j]
+            if sig is not None and np.shape(a) != sig:
+                raise TraceDivergence(f"{name}: aux {j} shape changed")
+        if name == "dropout":
+            rng = aux[0]
+            rt.rng_log.append((rng, rng.bit_generator.state))
+        prof = rt.prof
+        if prof is not None:
+            t0 = time.perf_counter()
+            handler.fwd(step, cvals, aux)
+            dt = time.perf_counter() - t0
+            rt.fwd_attr += dt
+            prof.record_op_call(name, dt, step.out.data.nbytes)
+        else:
+            handler.fwd(step, cvals, aux)
+        return step.out
+
+    return replaying
+
+
+def _make_replaying_dropout(rt: _Trace, handler: _Handler):
+    base = _make_replaying(rt, "dropout", handler)
+
+    def replaying(a, rate, rng=None, training=True):
+        if not training or float(rate) <= 0.0:
+            return ensure_tensor(a)
+        return base(a, rate, rng, training)
+
+    return replaying
+
+
+def _make_replaying_generic(rt: _Trace, label: str, orig: Callable):
+    def replaying(*args, **kwargs):
+        step = rt.next(label)
+        if kwargs or len(args) != len(step.extra):
+            raise TraceDivergence(f"{label}: call signature changed")
+        for i, spec in enumerate(step.extra):
+            a = args[i]
+            kind = spec[0]
+            if kind == "tg":
+                if a is not spec[1]:
+                    raise TraceDivergence(f"{label}: input {i} identity changed")
+            elif kind == "ts":
+                if not isinstance(a, Tensor) or a.data.shape != spec[1] or a.data.dtype != spec[2]:
+                    raise TraceDivergence(f"{label}: input {i} signature changed")
+            elif kind == "as":
+                if not isinstance(a, np.ndarray) or a.shape != spec[1]:
+                    raise TraceDivergence(f"{label}: input {i} signature changed")
+            elif kind == "none":
+                if a is not None:
+                    raise TraceDivergence(f"{label}: input {i} is no longer None")
+            elif a != spec[1]:
+                raise TraceDivergence(f"{label}: input {i} value changed")
+        if rt.prof is not None:
+            # ``orig`` is the profiler's wrapper here, which self-attributes
+            # this call's forward time; credit the same wall into fwd_attr so
+            # compile.overhead (a residual) does not count it twice.
+            t0 = time.perf_counter()
+            fresh = orig(*args, **kwargs)
+            rt.fwd_attr += time.perf_counter() - t0
+        else:
+            fresh = orig(*args, **kwargs)
+        out = step.out
+        if fresh.data.shape != out.data.shape or fresh.data.dtype != out.data.dtype:
+            raise TraceDivergence(f"{label}: output signature changed")
+        if len(fresh._parents) != len(step.grad_mask):
+            raise TraceDivergence(f"{label}: parent structure changed")
+        out.data = fresh.data
+        step.saved = fresh._backward_fns
+        return out
+
+    return replaying
+
+
+def _make_replaying_backward(rt: _Trace):
+    def replaying_backward(tensor, grad=None):
+        if tensor is not rt.loss or grad is not None or rt.bwd_ran:
+            raise TraceDivergence("backward call diverged from the trace")
+        if rt.cursor != len(rt.steps):
+            raise TraceDivergence("backward before the full forward trace")
+        prof = rt.prof
+        if prof is not None:
+            t0 = time.perf_counter()
+            rt.run_backward()
+            rt.bwd_wall = time.perf_counter() - t0
+            prof.record_backward_walk(rt.bwd_wall)
+        else:
+            rt.run_backward()
+        rt.bwd_ran = True
+        return None
+
+    return replaying_backward
+
+
+def _install_replay(rt: _Trace) -> _PatchSet:
+    patches = _PatchSet()
+    for owner, attr, label, orig, kind in patches.targets():
+        if kind == "generic":
+            wrapper = _make_replaying_generic(rt, label, orig)
+        else:
+            handler = _HANDLERS.get(label)
+            if handler is None:
+                continue  # recording with this op would have failed already
+            if label == "dropout":
+                wrapper = _make_replaying_dropout(rt, handler)
+            else:
+                wrapper = _make_replaying(rt, label, handler)
+        patches.install(owner, attr, orig, wrapper)
+    patches.install_backward(_make_replaying_backward(rt))
+    return patches
+
+
+# ----------------------------------------------------------------------
+# The compiler
+# ----------------------------------------------------------------------
+class EpochCompiler:
+    """Record-once/replay-many executor for fixed-shape training batches.
+
+    ``run(key, unit, rng=None)`` executes ``unit`` (one batch's forward +
+    ``zero_grad`` + ``backward``) eagerly while recording on first sight
+    of ``key``, then replays the recorded schedule on subsequent calls.
+    On :class:`TraceDivergence` the replay's RNG draws are rewound, the
+    trace is dropped, and the batch is transparently re-recorded; after
+    ``max_divergences`` consecutive failures a key is pinned eager-only.
+    """
+
+    def __init__(self, max_divergences: int = 3) -> None:
+        self.max_divergences = int(max_divergences)
+        self._traces: Dict[object, _Trace] = {}
+        self._strikes: Dict[object, int] = {}
+        self._eager_only: set = set()
+        self.stats = {"recorded": 0, "replayed": 0, "diverged": 0, "eager_batches": 0}
+
+    def run(self, key, unit: Callable[[], object], rng=None):
+        if key in self._eager_only:
+            self.stats["eager_batches"] += 1
+            return unit()
+        trace = self._traces.get(key)
+        if trace is None:
+            return self._record(key, unit)
+        prof = _active_profiler()
+        rng_state = rng.bit_generator.state if rng is not None else None
+        # Section time accrued *inside* the unit (patched sampler methods,
+        # ...) is already accounted by the profiler; subtract its delta so
+        # compile.overhead stays a pure residual and wall never double-counts.
+        sect0 = (
+            sum(entry[1] for entry in prof.sections.values())
+            if prof is not None
+            else 0.0
+        )
+        wall0 = time.perf_counter()
+        try:
+            result = trace.replay(unit, prof)
+        except TraceDivergence:
+            self.stats["diverged"] += 1
+            self._traces.pop(key, None)
+            # Rewind every RNG the partial replay consumed, then re-record.
+            for gen, state in reversed(trace.rng_log):
+                gen.bit_generator.state = state
+            if rng is not None:
+                rng.bit_generator.state = rng_state
+            self._strike(key)
+            if key in self._eager_only:
+                self.stats["eager_batches"] += 1
+                return unit()
+            return self._record(key, unit)
+        self.stats["replayed"] += 1
+        self._strikes.pop(key, None)
+        if prof is not None:
+            nested = sum(entry[1] for entry in prof.sections.values()) - sect0
+            overhead = (
+                (time.perf_counter() - wall0)
+                - trace.fwd_attr
+                - trace.bwd_wall
+                - nested
+            )
+            prof.record_section("compile.overhead", max(0.0, overhead))
+        return result
+
+    def _record(self, key, unit: Callable[[], object]):
+        self.stats["recorded"] += 1
+        rec = _Recorder()
+        patches = _install_record(rec)
+        try:
+            result = unit()
+        finally:
+            patches.restore()
+        trace = _finalize(rec, key)
+        if trace is None:
+            self._strike(key)
+        else:
+            self._traces[key] = trace
+        return result
+
+    def _strike(self, key) -> None:
+        n = self._strikes.get(key, 0) + 1
+        self._strikes[key] = n
+        if n >= self.max_divergences:
+            self._eager_only.add(key)
+            self._strikes.pop(key, None)
+
+    def summary(self) -> Dict[str, object]:
+        out = dict(self.stats)
+        out["n_traces"] = len(self._traces)
+        out["eager_only_keys"] = len(self._eager_only)
+        out["arena_bytes"] = sum(t.arena.nbytes for t in self._traces.values())
+        out["n_steps"] = sum(len(t.steps) for t in self._traces.values())
+        return out

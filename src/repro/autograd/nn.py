@@ -127,11 +127,30 @@ def _identity(x: Tensor) -> Tensor:
     return x
 
 
+# Late-bound thin wrappers, not direct references to the ops functions:
+# the profiler and the epoch compiler patch ops *module attributes*, so
+# activations must reach them through attribute lookup at call time.
+def _relu(x: Tensor) -> Tensor:
+    return ops.relu(x)
+
+
+def _tanh(x: Tensor) -> Tensor:
+    return ops.tanh(x)
+
+
+def _sigmoid(x: Tensor) -> Tensor:
+    return ops.sigmoid(x)
+
+
+def _leaky_relu(x: Tensor) -> Tensor:
+    return ops.leaky_relu(x)
+
+
 _ACTIVATIONS = {
-    "relu": ops.relu,
-    "tanh": ops.tanh,
-    "sigmoid": ops.sigmoid,
-    "leaky_relu": ops.leaky_relu,
+    "relu": _relu,
+    "tanh": _tanh,
+    "sigmoid": _sigmoid,
+    "leaky_relu": _leaky_relu,
     "identity": _identity,
 }
 

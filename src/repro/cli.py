@@ -230,6 +230,7 @@ def cmd_train(args) -> int:
             verbose=args.verbose,
             seed=args.seed,
             num_workers=args.workers,
+            compile_epoch=args.compile_epoch,
             tracer=tracer,
             track_memory=args.track_memory or bool(args.timeline),
             run_store=_make_run_store(args),
@@ -239,6 +240,16 @@ def cmd_train(args) -> int:
     _maybe_write_timeline(args, tracer)
     _close_tracer(tracer)
     _report_recorded_run(trainer)
+    if args.compile_epoch:
+        cs = trainer.compile_summary or {}
+        if "replayed" in cs:
+            print(
+                f"compile: {cs['replayed']} replayed / {cs['recorded']} "
+                f"recorded batch(es), {cs['diverged']} divergence(s), "
+                f"arena {cs['arena_bytes'] / 1048576:.1f} MiB"
+            )
+        else:
+            print("compile: enabled (per-worker compilers in process mode)")
     mem_summary = getattr(trainer, "_memory_summary", None)
     if mem_summary:
         print(
@@ -285,6 +296,7 @@ def cmd_compare(args) -> int:
             eval_max_users=args.eval_users,
             objective=args.objective,
             num_workers=args.workers,
+            compile_epoch=args.compile_epoch,
         ),
         topk_values=(args.k,),
         eval_ctr_too=True,
@@ -362,6 +374,7 @@ def cmd_export(args) -> int:
             verbose=args.verbose,
             seed=args.seed,
             num_workers=args.workers,
+            compile_epoch=args.compile_epoch,
             tracer=tracer,
             track_memory=args.track_memory or bool(args.timeline),
             run_store=_make_run_store(args),
@@ -502,12 +515,28 @@ def cmd_profile(args) -> int:
     batch_size = min(model.batch_size, len(users))
     order = rng.permutation(len(users))
 
+    compiler = None
+    if args.compile_epoch:
+        from repro.autograd.compile import EpochCompiler
+
+        compiler = EpochCompiler()
+
     def one_step(step: int) -> None:
         lo = (step * batch_size) % max(1, len(users) - batch_size + 1)
         batch = order[lo : lo + batch_size]
-        loss = model.training_loss(users[batch], pos_items[batch], negatives[batch])
-        optimizer.zero_grad()
-        loss.backward()
+
+        def unit() -> None:
+            loss = model.training_loss(users[batch], pos_items[batch], negatives[batch])
+            optimizer.zero_grad()
+            loss.backward()
+
+        if compiler is not None:
+            # Forward + backward replay through the trace; optimizer.step
+            # stays outside the unit (it mutates parameters in place and is
+            # profiled separately via prof.patch below).
+            compiler.run(("batch", len(batch)), unit, rng=model.rng)
+        else:
+            unit()
         optimizer.step()
 
     tracer = _make_tracer(args)
@@ -538,6 +567,14 @@ def cmd_profile(args) -> int:
             mem.stop()
     report = prof.report()
     print(report.render())
+    if compiler is not None:
+        cs = compiler.summary()
+        print(
+            f"compile: {cs['replayed']} replayed / {cs['recorded']} recorded "
+            f"batch(es), {cs['diverged']} divergence(s), "
+            f"arena {cs['arena_bytes'] / 1048576:.1f} MiB "
+            f"across {cs['n_steps']} traced op(s)"
+        )
     if mem is not None:
         summary = mem.summary()
         print(
@@ -827,6 +864,12 @@ def build_parser() -> argparse.ArgumentParser:
         "for any N — see docs/training.md)",
     )
     train_common.add_argument(
+        "--compile", dest="compile_epoch", action="store_true",
+        help="trace each batch shape once and replay it through "
+        "preallocated out= kernels — bit-identical to eager "
+        "(docs/autograd.md, 'Epoch compilation')",
+    )
+    train_common.add_argument(
         "--trace", "--log-jsonl", dest="trace", metavar="PATH", default=None,
         help="write obs span/event telemetry as JSONL to PATH",
     )
@@ -946,6 +989,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--objective", default="ce", choices=["ce", "bpr"],
         help="profile the 'ce' or 'bpr' training objective",
+    )
+    p.add_argument(
+        "--compile", dest="compile_epoch", action="store_true",
+        help="profile compiled replay instead of eager dispatch "
+        "(records on the warm-up step; docs/autograd.md)",
     )
     p.set_defaults(func=cmd_profile)
 

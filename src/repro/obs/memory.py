@@ -46,10 +46,15 @@ from typing import Any, Dict, List, Optional
 from repro.autograd.tensor import Tensor
 from repro.obs.events import NULL_TRACER
 
-__all__ = ["MemoryTracker", "track_memory"]
+__all__ = ["MemoryTracker", "track_memory", "active_tracker"]
 
 _ACTIVE_LOCK = threading.Lock()
 _ACTIVE_TRACKER: Optional["MemoryTracker"] = None
+
+
+def active_tracker() -> Optional["MemoryTracker"]:
+    """The tracker currently patching Tensor construction, if any."""
+    return _ACTIVE_TRACKER
 
 
 class _PhaseFrame:

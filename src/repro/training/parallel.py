@@ -391,6 +391,11 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
         model = pickle.loads(init["model"])
         params = model.parameters()
         _enable_row_tracking(params)
+        compiler = None
+        if init.get("compile"):
+            from repro.autograd.compile import EpochCompiler
+
+            compiler = EpochCompiler()
         layout = init["layout"]
         seed = init["seed"]
         n_shards = init["n_shards"]
@@ -466,14 +471,23 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                     continue
                 scale = part.size / batch.size
                 s_tick = time.perf_counter()
-                loss_value, grads = _compute_shard_grads(
-                    model,
-                    params,
-                    users[part],
-                    pos_items[part],
-                    neg_items[part],
-                    scale,
-                )
+
+                def unit(part=part, scale=scale):
+                    return _compute_shard_grads(
+                        model,
+                        params,
+                        users[part],
+                        pos_items[part],
+                        neg_items[part],
+                        scale,
+                    )
+
+                if compiler is not None:
+                    loss_value, grads = compiler.run(
+                        ("shard", part.size, batch.size), unit, rng=model.rng
+                    )
+                else:
+                    loss_value, grads = unit()
                 tags = _write_shard_grads(val_view[s], row_view[s] if row_view is not None else None, layout, grads)
                 summaries.append((s, int(part.size), loss_value, tags))
                 if sink is not None:
@@ -546,6 +560,7 @@ class ParallelEpochEngine:
         batch_size: Optional[int] = None,
         tracer=None,
         collect_worker_telemetry: bool = False,
+        compile_epoch: bool = False,
     ):
         if num_workers < 1:
             raise ValueError("ParallelEpochEngine needs num_workers >= 1")
@@ -569,6 +584,16 @@ class ParallelEpochEngine:
         )
         self.params = model.parameters()
         self.layout = _param_layout(self.params)
+        #: Per-shard trace-and-replay compilation; each worker process
+        #: keeps its own :class:`~repro.autograd.compile.EpochCompiler`
+        #: (traces key on shard shapes, so any worker count records the
+        #: same schedules and stays bit-identical).
+        self.compile_epoch = bool(compile_epoch)
+        self._compiler = None
+        if self.compile_epoch:
+            from repro.autograd.compile import EpochCompiler
+
+            self._compiler = EpochCompiler()
         self.mode = (
             "process"
             if self.num_workers >= 2 and shared_memory_available()
@@ -702,6 +727,7 @@ class ParallelEpochEngine:
             "val_total": val_total,
             "row_total": row_total,
             "collect": self.collect_telemetry,
+            "compile": self.compile_epoch,
         }
         ctx = mp.get_context("spawn")
         self._result_queue = ctx.Queue()
@@ -844,14 +870,23 @@ class ParallelEpochEngine:
                 continue
             scale = part.size / batch.size
             s_tick = time.perf_counter()
-            loss_value, grads = _compute_shard_grads(
-                self.model,
-                self.params,
-                users[part],
-                pos_items[part],
-                neg_items[part],
-                scale,
-            )
+
+            def unit(part=part, scale=scale):
+                return _compute_shard_grads(
+                    self.model,
+                    self.params,
+                    users[part],
+                    pos_items[part],
+                    neg_items[part],
+                    scale,
+                )
+
+            if self._compiler is not None:
+                loss_value, grads = self._compiler.run(
+                    ("shard", part.size, batch.size), unit, rng=self.model.rng
+                )
+            else:
+                loss_value, grads = unit()
             self._emit_phase(
                 "worker.compute",
                 time.perf_counter() - s_tick,
@@ -961,6 +996,12 @@ class ParallelEpochEngine:
         stats["accounted_fraction"] = (
             explained / stats["wall_s"] if stats["wall_s"] > 0 else 1.0
         )
+        if self._compiler is not None:
+            stats["compile"] = self._compiler.summary()
+        elif self.compile_epoch:
+            # Process mode: each worker compiles privately; only the flag
+            # is observable from the parent.
+            stats["compile"] = {"mode": "workers"}
         return stats
 
     def close(self) -> None:

@@ -75,6 +75,14 @@ class TrainerConfig:
     #: Lazy row-sparse embedding updates (bit-identical to dense; see
     #: docs/autograd.md).  Escape hatch for A/B timing comparisons.
     sparse_updates: bool = True
+    #: Trace-and-replay epoch compilation (docs/autograd.md, "Epoch
+    #: compilation"): record each batch shape's op graph once, then
+    #: replay the fixed schedule through preallocated arena buffers —
+    #: no per-op allocation, no tape rebuild.  Bit-identical to eager
+    #: at a fixed seed (``tests/test_compile_parity.py``); shape
+    #: divergence (last partial batch) falls back to eager recording
+    #: automatically.  Off by default.
+    compile_epoch: bool = False
     #: Track tensor allocations during ``fit`` with a
     #: :class:`~repro.obs.memory.MemoryTracker`: peak/live bytes, per-op
     #: attribution, epoch-boundary leak detection, and (with a tracer)
@@ -159,6 +167,23 @@ class Trainer:
         self.last_run_record = None
         #: Lazily created ``ParallelEpochEngine`` (``num_workers >= 1``).
         self._engine = None
+        #: Trace-and-replay compiler (``config.compile_epoch``), keyed by
+        #: batch size so the last partial batch records its own trace.
+        self._compiler = None
+        if self.config.compile_epoch:
+            from repro.autograd.compile import EpochCompiler
+
+            self._compiler = EpochCompiler()
+
+    @property
+    def compile_summary(self) -> Dict[str, float]:
+        """Recorded/replayed/diverged counters (``compile_epoch`` only)."""
+        if self.config.num_workers >= 1:
+            if self._engine is not None:
+                return self._engine.summary().get("compile", {})
+            parallel = getattr(self, "_parallel_summary", {}) or {}
+            return parallel.get("compile", {})
+        return self._compiler.summary() if self._compiler is not None else {}
 
     # ------------------------------------------------------------------
     def _ensure_engine(self):
@@ -175,6 +200,7 @@ class Trainer:
                 shuffle=self.config.shuffle,
                 tracer=self.tracer,
                 collect_worker_telemetry=self.config.track_memory,
+                compile_epoch=self.config.compile_epoch,
             )
             self._engine.start()
         return self._engine
@@ -242,18 +268,29 @@ class Trainer:
         # budget of bench_table6).
         track_grads = self.tracer.enabled or self.health.wants_grad_norms
         grad_norm_sum = 0.0
+        compiler = self._compiler
         for start in range(0, len(users), batch_size):
             batch = order[start : start + batch_size]
-            loss = model.training_loss(users[batch], pos_items[batch], neg_items[batch])
-            loss_value = loss.item()
-            if not np.isfinite(loss_value):
-                # Emits a structured `anomaly` event through the tracer,
-                # then aborts with full epoch/batch context.
-                raise self.health.nonfinite_loss(
-                    model.name, loss_value, epoch, start
+
+            def unit(batch=batch, start=start):
+                loss = model.training_loss(
+                    users[batch], pos_items[batch], neg_items[batch]
                 )
-            self.optimizer.zero_grad()
-            loss.backward()
+                loss_value = loss.item()
+                if not np.isfinite(loss_value):
+                    # Emits a structured `anomaly` event through the
+                    # tracer, then aborts with full epoch/batch context.
+                    raise self.health.nonfinite_loss(
+                        model.name, loss_value, epoch, start
+                    )
+                self.optimizer.zero_grad()
+                loss.backward()
+                return loss_value
+
+            if compiler is not None:
+                loss_value = compiler.run(("batch", len(batch)), unit, rng=model.rng)
+            else:
+                loss_value = unit()
             if track_grads:
                 grad_norm = self._global_grad_norm()
                 grad_norm_sum += grad_norm
@@ -513,6 +550,7 @@ class Trainer:
                 "batch_size": model.batch_size,
                 "num_workers": cfg.num_workers,
                 "grad_shards": cfg.grad_shards,
+                "compile_epoch": cfg.compile_epoch,
             },
         }
         metrics: Dict[str, float] = {}

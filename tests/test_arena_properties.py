@@ -1,0 +1,174 @@
+"""Property tests for the epoch compiler's arena and replay invariants.
+
+Hypothesis drives random reservation sequences and random expressions to
+pin four allocator/replay properties the parity harness relies on:
+
+* **no aliasing** — every materialized slot view owns a disjoint byte
+  range; writing one slot never perturbs another;
+* **deterministic offsets** — the same reservation sequence always
+  yields the same (aligned) layout, so a re-recorded trace reuses
+  identical addresses;
+* **replay-after-reset identical bytes** — zero-filling the backing
+  buffer and replaying reproduces byte-identical outputs and gradients;
+* **shape mismatch → fallback, not corruption** — feeding a trace inputs
+  of the wrong shape raises a divergence that re-records, and parameters
+  still match a pure-eager run bit-for-bit afterwards.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, ops
+from repro.autograd.compile import Arena, EpochCompiler
+
+DTYPES = [np.float64, np.float32, np.int64, np.int32]
+
+shapes = st.lists(
+    st.integers(min_value=1, max_value=7), min_size=0, max_size=3
+).map(tuple)
+slot_specs = st.lists(
+    st.tuples(shapes, st.sampled_from(range(len(DTYPES)))),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _reserve_all(arena, specs):
+    return [arena.reserve(shape, DTYPES[di]) for shape, di in specs]
+
+
+class TestArenaLayout:
+    @given(specs=slot_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_no_aliasing(self, specs):
+        """Distinct fills survive in every slot simultaneously."""
+        arena = Arena()
+        slots = _reserve_all(arena, specs)
+        arena.materialize()
+        for i, slot in enumerate(slots):
+            arena.view(slot)[...] = i + 1
+        for i, slot in enumerate(slots):
+            view = arena.view(slot)
+            assert np.all(view == view.dtype.type(i + 1)), (
+                f"slot {i} was overwritten by a later slot's fill"
+            )
+
+    @given(specs=slot_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_offsets(self, specs):
+        """Same reservation sequence, same layout — twice over."""
+        a, b = Arena(), Arena()
+        slots_a = _reserve_all(a, specs)
+        slots_b = _reserve_all(b, specs)
+        assert slots_a == slots_b
+        assert a.nbytes == b.nbytes
+        for slot in slots_a:
+            assert a.offset(slot) == b.offset(slot)
+            assert a.offset(slot) % Arena.ALIGN == 0
+
+    @given(specs=slot_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_reset_preserves_views(self, specs):
+        """reset() zero-fills in place; views stay bound to their bytes."""
+        arena = Arena()
+        slots = _reserve_all(arena, specs)
+        arena.materialize()
+        views = [arena.view(s) for s in slots]
+        for view in views:
+            view[...] = 7
+        arena.reset()
+        for slot, view in zip(slots, views):
+            assert arena.view(slot) is view
+            assert np.all(view == 0)
+
+
+def _expression(depth_choices):
+    """A small smooth expression whose structure hypothesis varies."""
+
+    def fn(a, b):
+        x = ops.add(a, b)
+        for choice in depth_choices:
+            if choice == 0:
+                x = ops.mul(x, a)
+            elif choice == 1:
+                x = ops.tanh(x)
+            else:
+                x = ops.add(ops.sigmoid(x), b)
+        return x
+
+    return fn
+
+
+class TestReplayInvariants:
+    @given(
+        data=st.data(),
+        depth_choices=st.lists(
+            st.integers(min_value=0, max_value=2), min_size=1, max_size=4
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_replay_after_reset_identical_bytes(self, data, depth_choices):
+        """Replays are pure functions of the input bytes: resetting the
+        arena between replays changes nothing."""
+        rng = np.random.default_rng(
+            data.draw(st.integers(min_value=0, max_value=2**31))
+        )
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        fn = _expression(depth_choices)
+        compiler = EpochCompiler()
+        outs, grads = [], []
+
+        def unit():
+            a.zero_grad()
+            b.zero_grad()
+            out = fn(a, b)
+            out.sum().backward()
+            return out.data.copy()
+
+        compiler.run(("k",), unit)  # record
+        for _ in range(2):
+            outs.append(compiler.run(("k",), unit))
+            grads.append((a.grad.copy(), b.grad.copy()))
+            for trace in compiler._traces.values():
+                trace.arena.reset()
+        assert compiler.stats["replayed"] == 2
+        assert outs[0].tobytes() == outs[1].tobytes()
+        assert grads[0][0].tobytes() == grads[1][0].tobytes()
+        assert grads[0][1].tobytes() == grads[1][1].tobytes()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        rows=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shape_mismatch_falls_back_not_corrupts(self, seed, rows):
+        """A trace fed wrong-shaped inputs must diverge and re-record; the
+        results still match eager bit-for-bit, and stats record the
+        divergence instead of silently replaying garbage."""
+        rng = np.random.default_rng(seed)
+        w = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        w_ref = Tensor(w.data.copy(), requires_grad=True)
+        idx_a = rng.integers(0, 6, size=8)
+        idx_b = rng.integers(0, 6, size=8 + rows)  # different batch length
+
+        def make_unit(target, idx):
+            def unit():
+                target.zero_grad()
+                out = ops.relu(ops.gather_rows(target, idx))
+                out.sum().backward()
+                return out.data.copy()
+
+            return unit
+
+        compiler = EpochCompiler()
+        compiler.run(("k",), make_unit(w, idx_a))          # record on len 8
+        out = compiler.run(("k",), make_unit(w, idx_b))    # diverge, re-record
+        assert compiler.stats["diverged"] == 1
+        ref_unit = make_unit(w_ref, idx_b)
+        ref_out = ref_unit()
+        assert out.tobytes() == ref_out.tobytes()
+        assert w.grad.tobytes() == w_ref.grad.tobytes()
+        # The re-recorded trace is live again: same-shape calls replay.
+        compiler.run(("k",), make_unit(w, idx_b))
+        assert compiler.stats["replayed"] == 1

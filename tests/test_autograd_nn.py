@@ -144,7 +144,22 @@ class TestLinearAndMLP:
 
 class TestActivationRegistry:
     def test_known(self):
-        assert activation("relu") is ops.relu
+        f = activation("relu")
+        t = Tensor([[-1.0, 2.0]])
+        np.testing.assert_array_equal(f(t).data, ops.relu(t).data)
+
+    def test_late_binding_sees_patched_ops(self, monkeypatch):
+        """Activations must resolve through the ops *module attribute* at
+        call time — the profiler and the epoch compiler patch it, and an
+        early-bound reference would silently bypass both."""
+        f = activation("relu")
+        calls = []
+        real = ops.relu
+        monkeypatch.setattr(
+            ops, "relu", lambda x: calls.append("hit") or real(x)
+        )
+        f(Tensor([1.0, -1.0]))
+        assert calls == ["hit"]
 
     def test_identity(self):
         f = activation("identity")
